@@ -1,0 +1,34 @@
+//! Extraction + switch-level simulation benchmark (the TRANSISTORS and
+//! SIMULATION representations).
+
+use bristle_bench::{compile, reference_specs};
+use bristle_extract::extract;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_extract(c: &mut Criterion) {
+    let chip = compile(&reference_specs()[1]).unwrap();
+    c.bench_function("extract_alu8_core", |b| {
+        b.iter(|| extract(&chip.lib, chip.core_cell))
+    });
+    c.bench_function("drc_hier_alu8_core", |b| {
+        b.iter(|| {
+            bristle_drc::check_hierarchical(
+                &chip.lib,
+                chip.core_cell,
+                &bristle_drc::RuleSet::mead_conway(),
+            )
+        })
+    });
+    c.bench_function("drc_flat_alu8_core", |b| {
+        b.iter(|| {
+            bristle_drc::check_flat(
+                &chip.lib,
+                chip.core_cell,
+                &bristle_drc::RuleSet::mead_conway(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_extract);
+criterion_main!(benches);

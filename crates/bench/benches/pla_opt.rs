@@ -1,0 +1,28 @@
+//! A3 benchmark: two-tape machine compilation + PLA optimization.
+
+use bristle_pla::{compile_on_tape, Cube, DecodeSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn spec(lines: usize) -> DecodeSpec {
+    let mut s = DecodeSpec::new(16);
+    for i in 0..lines {
+        let care = 0b1111u64 << (i % 12);
+        let value = ((i as u64 * 5) % 16) << (i % 12);
+        s.add_line(format!("c{i}"), vec![Cube { care, value }]);
+    }
+    s
+}
+
+fn bench_pla(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pla_compile_on_tape");
+    for lines in [8usize, 32, 96] {
+        let s = spec(lines);
+        g.bench_with_input(BenchmarkId::from_parameter(lines), &s, |b, s| {
+            b.iter(|| compile_on_tape(s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pla);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! A2 benchmark: the Roto-Router's rotation + swap search.
+
+use bristle_geom::{Point, Rect};
+use bristle_route::{Ring, RotoRouter};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_roto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rotorouter");
+    for n in [8usize, 16, 32, 64] {
+        let core = Rect::new(0, 0, 2000, 1500);
+        let ring = Ring::around(core, n);
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let s = (i as i64 * 7919) % (2 * (2000 + 1500));
+                // Scatter around the core boundary.
+                if s < 2000 {
+                    Point::new(s, 1500)
+                } else if s < 3500 {
+                    Point::new(2000, s - 2000)
+                } else if s < 5500 {
+                    Point::new(s - 3500, 0)
+                } else {
+                    Point::new(0, s - 5500)
+                }
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| RotoRouter::new().assign(&ring, pts))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_roto);
+criterion_main!(benches);

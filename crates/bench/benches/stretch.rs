@@ -1,0 +1,36 @@
+//! A1 benchmark: the stretch engine ("a painless operation").
+
+use bristle_cell::{stretch, Cell, Library, Shape};
+use bristle_geom::{Axis, Layer, Rect};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn big_cell(shapes: usize) -> (Library, bristle_cell::CellId) {
+    let mut lib = Library::new("b");
+    let mut c = Cell::new("big");
+    for i in 0..shapes as i64 {
+        c.push_shape(Shape::rect(Layer::Metal, Rect::new(0, 8 * i, 100, 8 * i + 4)));
+    }
+    c.add_stretch_y(3);
+    let id = lib.add_cell(c).unwrap();
+    (lib, id)
+}
+
+fn bench_stretch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stretch_to");
+    for shapes in [100usize, 1000, 5000] {
+        g.bench_with_input(BenchmarkId::from_parameter(shapes), &shapes, |b, &n| {
+            b.iter_batched(
+                || big_cell(n),
+                |(mut lib, id)| {
+                    let h = lib.bbox(id).unwrap().height();
+                    stretch::stretch_to(&mut lib, id, Axis::Y, h + 40).unwrap();
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stretch);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! # bristle-bench
+//!
+//! Shared workloads for the experiment harness and the Criterion
+//! benches: the four reference chips and the chip-space sweep.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bristle_core::{ChipSpec, CompileError, CompiledChip, Compiler};
+
+/// The four reference chips of experiment T1/T2.
+#[must_use]
+pub fn reference_specs() -> Vec<ChipSpec> {
+    vec![
+        // counter4: the smallest useful chip.
+        ChipSpec::builder("counter4")
+            .data_width(4)
+            .element("registers", &[("count", 1)])
+            .element("alu", &[])
+            .build()
+            .unwrap(),
+        // alu8: ALU with a small register bank.
+        ChipSpec::builder("alu8")
+            .data_width(8)
+            .element("registers", &[("count", 2)])
+            .element("alu", &[])
+            .element("outport", &[])
+            .build()
+            .unwrap(),
+        // datapath16: the mid-size machine.
+        ChipSpec::builder("datapath16")
+            .data_width(16)
+            .element("inport", &[])
+            .element("registers", &[("count", 4)])
+            .element("shifter", &[])
+            .element("alu", &[])
+            .element("outport", &[])
+            .build()
+            .unwrap(),
+        // cpu16: everything, with a stack and RAM.
+        ChipSpec::builder("cpu16")
+            .data_width(16)
+            .element("inport", &[])
+            .element("registers", &[("count", 4)])
+            .element("shifter", &[])
+            .element("alu", &[])
+            .element("stack", &[("depth", 4)])
+            .element("ram", &[("words", 4)])
+            .element("outport", &[])
+            .build()
+            .unwrap(),
+    ]
+}
+
+/// A parameterized chip for scaling sweeps.
+#[must_use]
+pub fn sweep_spec(width: u32, registers: i64, extras: u32) -> ChipSpec {
+    let mut b = ChipSpec::builder(format!("sweep_w{width}_r{registers}_x{extras}"))
+        .data_width(width)
+        .element("registers", &[("count", registers)])
+        .element("alu", &[]);
+    if extras >= 1 {
+        b = b.element("shifter", &[]);
+    }
+    if extras >= 2 {
+        b = b.element("stack", &[("depth", 4)]);
+    }
+    if extras >= 3 {
+        b = b.element("ram", &[("words", 4)]);
+    }
+    if extras >= 4 {
+        b = b.element("inport", &[]).element("outport", &[]);
+    }
+    b.build().unwrap()
+}
+
+/// Compiles with the default compiler.
+///
+/// # Errors
+///
+/// Propagates compiler failures.
+pub fn compile(spec: &ChipSpec) -> Result<CompiledChip, CompileError> {
+    Compiler::new().compile(spec)
+}
+
+/// The "hand layout" baseline of experiment T1: the same elements laid
+/// out by an expert with **no uniform-pitch constraint** — every element
+/// keeps its natural pitch, the decoder and wiring overhead are the same
+/// as the compiler's. Returns the baseline core area in λ².
+#[must_use]
+pub fn hand_core_area(chip: &CompiledChip) -> i64 {
+    use bristle_cell::{GenCtx, TrackSet, SLICE_CLEARANCE};
+    use bristle_stdcells::generator_named;
+    let mut total = 0i64;
+    for e in &chip.elements {
+        let kind = if e.index == usize::MAX {
+            "precharge".to_owned()
+        } else {
+            chip.spec.elements[e.index].kind.clone()
+        };
+        let Some(generator) = generator_named(&kind) else {
+            continue;
+        };
+        let mut ctx = GenCtx::new(chip.spec.data_width);
+        ctx.prefix = format!("hand_{}", e.prefix);
+        if e.index != usize::MAX {
+            ctx.params = chip.spec.elements[e.index].params.clone();
+        }
+        let mut lib = bristle_cell::Library::new("hand");
+        let Ok(cols) = generator.generate(&ctx, &mut lib) else {
+            continue;
+        };
+        for id in cols {
+            let bb = lib.bbox(id).unwrap();
+            let ts = TrackSet::from_cell(lib.cell(id)).unwrap();
+            // The element's own natural pitch.
+            let pitch = ts.vdd_y + 2 + SLICE_CLEARANCE + 2;
+            total += bb.width() * pitch * i64::from(chip.spec.data_width);
+        }
+    }
+    total
+}

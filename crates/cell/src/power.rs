@@ -1,0 +1,117 @@
+//! Cell power accounting.
+//!
+//! Procedural cells "compute their power requirements"; Pass 1 accumulates
+//! the per-element demands along the core and widens the metal power rails
+//! so current density stays under the electromigration limit.
+
+use std::fmt;
+
+/// Power requirements of one cell (its own devices, excluding sub-cells;
+/// [`crate::Library::total_power_ua`] accumulates hierarchies).
+///
+/// # Examples
+///
+/// ```
+/// use bristle_cell::PowerInfo;
+///
+/// let p = PowerInfo::new(350);
+/// assert_eq!(p.current_ua(), 350);
+/// // 350 µA fits in the minimum metal rail (3λ, rounded up to even).
+/// assert_eq!(p.rail_width_lambda(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PowerInfo {
+    current_ua: u64,
+}
+
+/// Electromigration-style current limit used for rail sizing, in µA per λ
+/// of metal rail width. The 1979-era rule of thumb was ≈1 mA per µm of
+/// metal; with λ = 2.5 µm that is 2.5 mA/λ — we size conservatively at
+/// 400 µA/λ so rail growth is visible on small demo chips.
+pub const UA_PER_LAMBDA: u64 = 400;
+
+/// Minimum metal rail width in λ (the Mead–Conway metal minimum).
+pub const MIN_RAIL_WIDTH: i64 = 3;
+
+impl PowerInfo {
+    /// Creates power info for a cell drawing `current_ua` microamps.
+    #[must_use]
+    pub fn new(current_ua: u64) -> PowerInfo {
+        PowerInfo { current_ua }
+    }
+
+    /// Supply current demand in µA.
+    #[must_use]
+    pub fn current_ua(&self) -> u64 {
+        self.current_ua
+    }
+
+    /// Adds another cell's demand.
+    #[must_use]
+    pub fn plus(self, other: PowerInfo) -> PowerInfo {
+        PowerInfo {
+            current_ua: self.current_ua + other.current_ua,
+        }
+    }
+
+    /// The metal rail width (λ) needed to carry this cell's current:
+    /// `ceil(current / UA_PER_LAMBDA)`, clamped to the metal minimum
+    /// width, and rounded up to even so rail center-lines stay on the
+    /// λ lattice.
+    #[must_use]
+    pub fn rail_width_lambda(&self) -> i64 {
+        let w = self.current_ua.div_ceil(UA_PER_LAMBDA) as i64;
+        let w = w.max(MIN_RAIL_WIDTH);
+        // Power rails are drawn as wires, whose widths must be even.
+        if w % 2 == 1 {
+            w + 1
+        } else {
+            w
+        }
+    }
+}
+
+/// Rail width needed for an accumulated current (helper for the core
+/// pass, which sums element demands).
+#[must_use]
+pub fn rail_width_for_ua(total_ua: u64) -> i64 {
+    PowerInfo::new(total_ua).rail_width_lambda()
+}
+
+impl fmt::Display for PowerInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}µA", self.current_ua)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rail_width_minimum() {
+        assert_eq!(PowerInfo::new(0).rail_width_lambda(), 4); // 3 rounded to even
+        assert_eq!(PowerInfo::new(100).rail_width_lambda(), 4);
+    }
+
+    #[test]
+    fn rail_width_scales_with_current() {
+        assert_eq!(PowerInfo::new(1600).rail_width_lambda(), 4);
+        assert_eq!(PowerInfo::new(2000).rail_width_lambda(), 6); // ceil(5) -> 6 even
+        assert_eq!(PowerInfo::new(4000).rail_width_lambda(), 10);
+    }
+
+    #[test]
+    fn plus_accumulates() {
+        let a = PowerInfo::new(100);
+        let b = PowerInfo::new(250);
+        assert_eq!(a.plus(b).current_ua(), 350);
+    }
+
+    #[test]
+    fn helper_matches_method() {
+        for ua in [0, 1, 399, 400, 401, 10_000] {
+            assert_eq!(rail_width_for_ua(ua), PowerInfo::new(ua).rail_width_lambda());
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Per-cell data for the non-layout representations.
+//!
+//! *"Every fundamental element in the Bristle Block system has the
+//! capability of containing each of these seven representations for
+//! itself."* — Johannsen, DAC 1979.
+//!
+//! The LAYOUT representation is the cell geometry itself; TRANSISTORS is
+//! derived by extraction. The remaining representations carry explicit
+//! per-cell data, stored here:
+//!
+//! * STICKS — single-width center-lines with the layout's topology,
+//! * LOGIC — a TTL-style gate list,
+//! * TEXT — prose for the hierarchical "user's manual",
+//! * SIMULATION — the name of a registered behavioral model,
+//! * BLOCK — a display label for the block diagram.
+
+use std::fmt;
+
+use bristle_geom::{Layer, Point};
+
+/// One stick: a single-width line on a layer, preserving layout topology
+/// with all features reduced to center-lines.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Stick {
+    /// Layer the stick abstracts.
+    pub layer: Layer,
+    /// Line start.
+    pub from: Point,
+    /// Line end.
+    pub to: Point,
+}
+
+impl Stick {
+    /// Creates a stick.
+    #[must_use]
+    pub fn new(layer: Layer, from: Point, to: Point) -> Stick {
+        Stick { layer, from, to }
+    }
+}
+
+impl fmt::Display for Stick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}–{}", self.layer, self.from, self.to)
+    }
+}
+
+/// Gate kinds for the TTL-style LOGIC representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LogicKind {
+    /// Inverter.
+    Not,
+    /// NAND gate (the natural nMOS gate).
+    Nand,
+    /// NOR gate.
+    Nor,
+    /// AND gate.
+    And,
+    /// OR gate.
+    Or,
+    /// Exclusive-OR gate.
+    Xor,
+    /// Transmission / pass gate (control input first).
+    Pass,
+    /// Level-sensitive latch (data, enable).
+    Latch,
+    /// Plain buffer / super-buffer.
+    Buf,
+}
+
+impl fmt::Display for LogicKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LogicKind::Not => "NOT",
+            LogicKind::Nand => "NAND",
+            LogicKind::Nor => "NOR",
+            LogicKind::And => "AND",
+            LogicKind::Or => "OR",
+            LogicKind::Xor => "XOR",
+            LogicKind::Pass => "PASS",
+            LogicKind::Latch => "LATCH",
+            LogicKind::Buf => "BUF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One gate in the LOGIC representation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LogicGate {
+    /// Gate kind.
+    pub kind: LogicKind,
+    /// Input net names, in gate-specific order.
+    pub inputs: Vec<String>,
+    /// Output net name.
+    pub output: String,
+}
+
+impl LogicGate {
+    /// Creates a gate.
+    #[must_use]
+    pub fn new(
+        kind: LogicKind,
+        inputs: impl IntoIterator<Item = impl Into<String>>,
+        output: impl Into<String>,
+    ) -> LogicGate {
+        LogicGate {
+            kind,
+            inputs: inputs.into_iter().map(Into::into).collect(),
+            output: output.into(),
+        }
+    }
+
+    /// Evaluates the gate combinationally. `Pass` gates return the data
+    /// input when the control input is true, else `None` (floating).
+    /// `Latch` returns the data input when enabled, else `None`
+    /// (hold — the caller keeps the previous value).
+    #[must_use]
+    pub fn eval(&self, inputs: &[bool]) -> Option<bool> {
+        match self.kind {
+            LogicKind::Not => Some(!inputs[0]),
+            LogicKind::Buf => Some(inputs[0]),
+            LogicKind::Nand => Some(!inputs.iter().all(|&b| b)),
+            LogicKind::Nor => Some(!inputs.iter().any(|&b| b)),
+            LogicKind::And => Some(inputs.iter().all(|&b| b)),
+            LogicKind::Or => Some(inputs.iter().any(|&b| b)),
+            LogicKind::Xor => Some(inputs.iter().filter(|&&b| b).count() % 2 == 1),
+            LogicKind::Pass | LogicKind::Latch => {
+                if inputs[0] {
+                    Some(inputs[1])
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} <- {}", self.kind, self.output, self.inputs.join(", "))
+    }
+}
+
+/// The per-cell bundle of non-layout representation data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellReprs {
+    /// STICKS: single-width topology lines.
+    pub sticks: Vec<Stick>,
+    /// LOGIC: TTL-style gate list.
+    pub logic: Vec<LogicGate>,
+    /// TEXT: prose description for the "user's manual".
+    pub doc: String,
+    /// SIMULATION: key of the behavioral model registered with the
+    /// functional simulator.
+    pub behavior: Option<String>,
+    /// BLOCK: display label in the block diagram.
+    pub block_label: Option<String>,
+}
+
+impl CellReprs {
+    /// True if no representation data is present at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sticks.is_empty()
+            && self.logic.is_empty()
+            && self.doc.is_empty()
+            && self.behavior.is_none()
+            && self.block_label.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_truth_tables() {
+        let nand = LogicGate::new(LogicKind::Nand, ["a", "b"], "y");
+        assert_eq!(nand.eval(&[true, true]), Some(false));
+        assert_eq!(nand.eval(&[true, false]), Some(true));
+        let xor = LogicGate::new(LogicKind::Xor, ["a", "b"], "y");
+        assert_eq!(xor.eval(&[true, false]), Some(true));
+        assert_eq!(xor.eval(&[true, true]), Some(false));
+        let not = LogicGate::new(LogicKind::Not, ["a"], "y");
+        assert_eq!(not.eval(&[false]), Some(true));
+    }
+
+    #[test]
+    fn pass_gate_floats_when_off() {
+        let pass = LogicGate::new(LogicKind::Pass, ["en", "d"], "y");
+        assert_eq!(pass.eval(&[true, true]), Some(true));
+        assert_eq!(pass.eval(&[false, true]), None);
+    }
+
+    #[test]
+    fn reprs_emptiness() {
+        let mut r = CellReprs::default();
+        assert!(r.is_empty());
+        r.doc = "a register".into();
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        let g = LogicGate::new(LogicKind::Nor, ["p", "q"], "out");
+        assert_eq!(g.to_string(), "NOR out <- p, q");
+        let s = Stick::new(Layer::Poly, Point::new(0, 0), Point::new(0, 8));
+        assert_eq!(s.to_string(), "NP (0, 0)–(0, 8)");
+    }
+}

@@ -1,0 +1,384 @@
+//! The stretch engine.
+//!
+//! *"By introducing stretchable cells, this problem can be avoided. Each of
+//! the cells are designed with places to stretch. … As the elements produce
+//! their cells, each cell is stretched (a painless operation) to fit all
+//! other cells."* — Johannsen, DAC 1979.
+//!
+//! A stretch line at position `p` along an axis divides the cell: every
+//! coordinate **strictly greater** than `p` shifts by the inserted delta,
+//! while coordinates at or below `p` stay. A shape crossing the line
+//! therefore widens; a shape strictly beyond it shifts rigidly.
+//!
+//! Because the coordinate map is monotone and gap-non-decreasing (for
+//! non-negative deltas), stretching **preserves minimum-width and
+//! minimum-spacing design rules and preserves connectivity** — which is
+//! what makes it the paper's "painless operation". The property tests in
+//! this module and in `bristle-drc` verify exactly that.
+
+use std::fmt;
+
+use bristle_geom::Axis;
+
+use crate::cell::{Cell, CellError, CellId, Library};
+
+/// Errors from stretching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StretchError {
+    /// The cell must grow by `needed` λ along the axis but declares no
+    /// stretch lines there.
+    NotStretchable {
+        /// Cell name.
+        cell: String,
+        /// Axis along which growth was requested.
+        axis: Axis,
+        /// λ of growth that could not be realized.
+        needed: i64,
+    },
+    /// Negative stretch (shrinking) was requested.
+    NegativeDelta(i64),
+    /// Library-level failure (unknown cell, …).
+    Cell(CellError),
+}
+
+impl fmt::Display for StretchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StretchError::NotStretchable { cell, axis, needed } => write!(
+                f,
+                "cell `{cell}` cannot stretch by {needed}λ along {axis}: no stretch lines"
+            ),
+            StretchError::NegativeDelta(d) => write!(f, "negative stretch delta {d}"),
+            StretchError::Cell(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StretchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StretchError::Cell(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CellError> for StretchError {
+    fn from(e: CellError) -> StretchError {
+        StretchError::Cell(e)
+    }
+}
+
+/// A set of insertions along one axis: at each line position, insert the
+/// given non-negative number of λ.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StretchPlan {
+    insertions: Vec<(i64, i64)>, // (line position, delta), sorted by position
+}
+
+impl StretchPlan {
+    /// Creates an empty plan (the identity stretch).
+    #[must_use]
+    pub fn new() -> StretchPlan {
+        StretchPlan::default()
+    }
+
+    /// Adds an insertion of `delta` λ at line `pos`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StretchError::NegativeDelta`] if `delta < 0`.
+    pub fn insert(&mut self, pos: i64, delta: i64) -> Result<(), StretchError> {
+        if delta < 0 {
+            return Err(StretchError::NegativeDelta(delta));
+        }
+        if delta == 0 {
+            return Ok(());
+        }
+        match self.insertions.binary_search_by_key(&pos, |&(p, _)| p) {
+            Ok(i) => self.insertions[i].1 += delta,
+            Err(i) => self.insertions.insert(i, (pos, delta)),
+        }
+        Ok(())
+    }
+
+    /// Total λ inserted.
+    #[must_use]
+    pub fn total(&self) -> i64 {
+        self.insertions.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// True if the plan changes nothing.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.insertions.is_empty()
+    }
+
+    /// The monotone coordinate map: `c ↦ c + Σ {delta | pos < c}`.
+    #[must_use]
+    pub fn map(&self, c: i64) -> i64 {
+        let mut shift = 0;
+        for &(pos, delta) in &self.insertions {
+            if pos < c {
+                shift += delta;
+            } else {
+                break;
+            }
+        }
+        c + shift
+    }
+
+    /// Distributes `total` λ of growth evenly across the given lines
+    /// (remainder to the leftmost lines), producing a plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StretchError::NegativeDelta`] for negative totals. An
+    /// empty `lines` slice with positive `total` yields an empty plan —
+    /// callers detect this via [`StretchPlan::total`].
+    pub fn distribute(lines: &[i64], total: i64) -> Result<StretchPlan, StretchError> {
+        if total < 0 {
+            return Err(StretchError::NegativeDelta(total));
+        }
+        let mut plan = StretchPlan::new();
+        if lines.is_empty() || total == 0 {
+            return Ok(plan);
+        }
+        let n = lines.len() as i64;
+        let base = total / n;
+        let extra = total % n;
+        let mut sorted = lines.to_vec();
+        sorted.sort_unstable();
+        for (i, &pos) in sorted.iter().enumerate() {
+            let d = base + i64::from((i as i64) < extra);
+            plan.insert(pos, d)?;
+        }
+        Ok(plan)
+    }
+}
+
+/// Applies a stretch plan to a cell along `axis`, in place.
+///
+/// Shapes, bristles, stretch lines and instance origins all move through
+/// the plan's coordinate map. Instance *interiors* do not stretch — in
+/// Bristle Blocks each cell stretches itself before being instanced.
+pub fn apply_plan(cell: &mut Cell, axis: Axis, plan: &StretchPlan) {
+    if plan.is_identity() {
+        return;
+    }
+    let map_point = |p: bristle_geom::Point| p.with_along(axis, plan.map(p.along(axis)));
+    for shape in cell.shapes_mut() {
+        *shape = shape.map_points(map_point);
+    }
+    for b in cell.bristles_mut() {
+        b.pos = map_point(b.pos);
+    }
+    for inst in cell.instances_mut() {
+        inst.transform.offset = map_point(inst.transform.offset);
+    }
+    match axis {
+        Axis::X => {
+            let xs = cell.stretch_x().iter().map(|&x| plan.map(x)).collect();
+            cell.set_stretch_x(xs);
+        }
+        Axis::Y => {
+            let ys = cell.stretch_y().iter().map(|&y| plan.map(y)).collect();
+            cell.set_stretch_y(ys);
+        }
+    }
+}
+
+/// Stretches a cell so its extent along `axis` becomes exactly `target`,
+/// distributing growth across the cell's declared stretch lines.
+///
+/// This is the operation Pass 1 runs on every element cell after the
+/// widest cell fixes the common pitch.
+///
+/// # Errors
+///
+/// * [`StretchError::NotStretchable`] if growth is needed but the cell
+///   declares no stretch lines along `axis`.
+/// * [`StretchError::NegativeDelta`] if the cell is already larger than
+///   `target` (cells never shrink).
+///
+/// # Panics
+///
+/// Panics if `id` is not a cell of `lib`.
+pub fn stretch_to(
+    lib: &mut Library,
+    id: CellId,
+    axis: Axis,
+    target: i64,
+) -> Result<(), StretchError> {
+    let bbox = lib
+        .bbox(id)
+        .ok_or_else(|| CellError::EmptyCell(lib.cell(id).name().to_owned()))?;
+    let current = bbox.extent(axis);
+    let needed = target - current;
+    if needed < 0 {
+        return Err(StretchError::NegativeDelta(needed));
+    }
+    if needed == 0 {
+        return Ok(());
+    }
+    let lines = match axis {
+        Axis::X => lib.cell(id).stretch_x().to_vec(),
+        Axis::Y => lib.cell(id).stretch_y().to_vec(),
+    };
+    if lines.is_empty() {
+        return Err(StretchError::NotStretchable {
+            cell: lib.cell(id).name().to_owned(),
+            axis,
+            needed,
+        });
+    }
+    let plan = StretchPlan::distribute(&lines, needed)?;
+    apply_plan(lib.cell_mut(id), axis, &plan);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bristle::{Bristle, Flavor, Side};
+    use crate::shape::Shape;
+    use bristle_geom::{Layer, Point, Rect};
+
+    fn sample_cell() -> Cell {
+        let mut c = Cell::new("s");
+        // A box left of the line, one crossing it, one right of it.
+        c.push_shape(Shape::rect(Layer::Metal, Rect::new(0, 0, 4, 2)));
+        c.push_shape(Shape::rect(Layer::Poly, Rect::new(2, 4, 10, 6)));
+        c.push_shape(Shape::rect(Layer::Diffusion, Rect::new(8, 0, 12, 2)));
+        c.push_bristle(Bristle::new(
+            "b",
+            Layer::Metal,
+            Point::new(12, 1),
+            Side::East,
+            Flavor::Signal,
+        ));
+        c.add_stretch_x(6);
+        c
+    }
+
+    #[test]
+    fn map_semantics() {
+        let mut plan = StretchPlan::new();
+        plan.insert(6, 4).unwrap();
+        assert_eq!(plan.map(0), 0);
+        assert_eq!(plan.map(6), 6); // at the line: stays
+        assert_eq!(plan.map(7), 11); // beyond: shifts
+    }
+
+    #[test]
+    fn stretch_widens_crossers_and_shifts_right() {
+        let mut lib = Library::new("t");
+        let mut cell = sample_cell();
+        let mut plan = StretchPlan::new();
+        plan.insert(6, 4).unwrap();
+        apply_plan(&mut cell, Axis::X, &plan);
+        let id = lib.add_cell(cell).unwrap();
+        let c = lib.cell(id);
+        assert_eq!(c.shapes()[0].bbox(), Rect::new(0, 0, 4, 2)); // untouched
+        assert_eq!(c.shapes()[1].bbox(), Rect::new(2, 4, 14, 6)); // widened
+        assert_eq!(c.shapes()[2].bbox(), Rect::new(12, 0, 16, 2)); // shifted
+        assert_eq!(c.bristles()[0].pos, Point::new(16, 1)); // bristle shifted
+        assert_eq!(c.stretch_x(), &[6]); // the line itself stays
+    }
+
+    #[test]
+    fn stretch_to_exact_target() {
+        let mut lib = Library::new("t");
+        let id = lib.add_cell(sample_cell()).unwrap();
+        stretch_to(&mut lib, id, Axis::X, 20).unwrap();
+        assert_eq!(lib.bbox(id).unwrap().width(), 20);
+        // Stretching to the current size is a no-op.
+        stretch_to(&mut lib, id, Axis::X, 20).unwrap();
+        assert_eq!(lib.bbox(id).unwrap().width(), 20);
+    }
+
+    #[test]
+    fn unstretchable_cell_errors() {
+        let mut lib = Library::new("t");
+        let mut c = Cell::new("rigid");
+        c.push_shape(Shape::rect(Layer::Metal, Rect::new(0, 0, 4, 2)));
+        let id = lib.add_cell(c).unwrap();
+        let err = stretch_to(&mut lib, id, Axis::X, 10).unwrap_err();
+        assert!(matches!(err, StretchError::NotStretchable { needed: 6, .. }));
+    }
+
+    #[test]
+    fn shrink_rejected() {
+        let mut lib = Library::new("t");
+        let id = lib.add_cell(sample_cell()).unwrap();
+        assert!(matches!(
+            stretch_to(&mut lib, id, Axis::X, 2),
+            Err(StretchError::NegativeDelta(_))
+        ));
+    }
+
+    #[test]
+    fn distribute_evenly_with_remainder() {
+        let plan = StretchPlan::distribute(&[2, 8, 14], 7).unwrap();
+        // 7 = 3+2+2, extra to leftmost.
+        assert_eq!(plan.map(3), 3 + 3);
+        assert_eq!(plan.map(9), 9 + 5);
+        assert_eq!(plan.map(15), 15 + 7);
+        assert_eq!(plan.total(), 7);
+    }
+
+    #[test]
+    fn multi_line_plan_is_cumulative() {
+        let mut plan = StretchPlan::new();
+        plan.insert(2, 1).unwrap();
+        plan.insert(10, 5).unwrap();
+        plan.insert(2, 1).unwrap(); // merges with the first
+        assert_eq!(plan.map(2), 2);
+        assert_eq!(plan.map(3), 5);
+        assert_eq!(plan.map(11), 18);
+        assert_eq!(plan.total(), 7);
+    }
+
+    #[test]
+    fn instance_origins_shift() {
+        let mut lib = Library::new("t");
+        let leaf = {
+            let mut c = Cell::new("leaf");
+            c.push_shape(Shape::rect(Layer::Metal, Rect::new(0, 0, 2, 2)));
+            lib.add_cell(c).unwrap()
+        };
+        let mut parent = Cell::new("p");
+        parent.push_shape(Shape::rect(Layer::Metal, Rect::new(0, 0, 2, 2)));
+        parent.add_stretch_x(4);
+        let pid = lib.add_cell(parent).unwrap();
+        lib.add_instance(
+            pid,
+            leaf,
+            "i",
+            bristle_geom::Transform::translate(Point::new(6, 0)),
+        )
+        .unwrap();
+        let before = lib.bbox(pid).unwrap(); // [0..8]
+        assert_eq!(before.width(), 8);
+        stretch_to(&mut lib, pid, Axis::X, 12).unwrap();
+        let c = lib.cell(pid);
+        assert_eq!(c.instances()[0].transform.offset, Point::new(10, 0));
+        assert_eq!(lib.bbox(pid).unwrap().width(), 12);
+    }
+
+    #[test]
+    fn gaps_never_shrink() {
+        // The key DRC-preservation property, spot-checked; the full
+        // property test lives in tests/stretch_props.rs.
+        let mut plan = StretchPlan::new();
+        plan.insert(5, 3).unwrap();
+        let coords = [-4, 0, 5, 6, 9, 20];
+        for &a in &coords {
+            for &b in &coords {
+                if a < b {
+                    assert!(plan.map(b) - plan.map(a) >= b - a);
+                }
+            }
+        }
+    }
+}

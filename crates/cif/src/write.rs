@@ -1,0 +1,224 @@
+//! CIF 2.0 emission.
+
+use std::fmt::Write as _;
+
+use bristle_cell::{CellId, Library, ShapeGeom};
+use bristle_geom::Orientation;
+
+use crate::CIF_SCALE_NUM;
+
+/// Errors from CIF emission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteCifError {
+    /// A cell in the hierarchy is completely empty (CIF symbols must have
+    /// content).
+    EmptyCell(String),
+}
+
+impl std::fmt::Display for WriteCifError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteCifError::EmptyCell(n) => write!(f, "cell `{n}` is empty; CIF needs geometry"),
+        }
+    }
+}
+
+impl std::error::Error for WriteCifError {}
+
+/// Orientation as a CIF transformation-op sequence (applied left to
+/// right, before the final `T` translate).
+fn orient_ops(o: Orientation) -> &'static str {
+    match o {
+        Orientation::R0 => "",
+        Orientation::R90 => " R 0 1",
+        Orientation::R180 => " R -1 0",
+        Orientation::R270 => " R 0 -1",
+        Orientation::MR0 => " MX",
+        Orientation::MR90 => " MX R 0 1",
+        Orientation::MR180 => " MX R -1 0",
+        Orientation::MR270 => " MX R 0 -1",
+    }
+}
+
+/// Writes a cell hierarchy as a CIF 2.0 file. All cells reachable from
+/// `top` become symbol definitions; the file ends with a call to the top
+/// symbol and `E`.
+///
+/// Coordinates are emitted in half-λ (see crate docs).
+///
+/// # Errors
+///
+/// Returns [`WriteCifError::EmptyCell`] if any reachable cell has neither
+/// shapes nor instances.
+///
+/// # Panics
+///
+/// Panics if `top` is not a cell of `lib`.
+pub fn write_cif(lib: &Library, top: CellId) -> Result<String, WriteCifError> {
+    // Collect reachable cells in dependency (children-first) order.
+    let mut order: Vec<CellId> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    collect(lib, top, &mut seen, &mut order);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "(CIF written by bristle-blocks for `{}`);", lib.name());
+    // Stable symbol numbering: position in the reachable order, 1-based.
+    let number: std::collections::HashMap<CellId, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i + 1))
+        .collect();
+
+    for &id in &order {
+        let cell = lib.cell(id);
+        if cell.shapes().is_empty() && cell.instances().is_empty() {
+            return Err(WriteCifError::EmptyCell(cell.name().to_owned()));
+        }
+        let _ = writeln!(out, "DS {} {} 1;", number[&id], CIF_SCALE_NUM);
+        let _ = writeln!(out, "9 {};", cell.name());
+        // Group shapes by layer to minimize L commands.
+        let mut last_layer = None;
+        for s in cell.shapes() {
+            if last_layer != Some(s.layer) {
+                let _ = writeln!(out, "L {};", s.layer.cif_name());
+                last_layer = Some(s.layer);
+            }
+            match &s.geom {
+                ShapeGeom::Box(r) => {
+                    // B length width centerx centery — in half-λ all integral.
+                    let _ = writeln!(
+                        out,
+                        "B {} {} {} {};",
+                        r.width() * 2,
+                        r.height() * 2,
+                        r.x0 + r.x1,
+                        r.y0 + r.y1
+                    );
+                }
+                ShapeGeom::Wire(p) => {
+                    let mut line = format!("W {}", p.width() * 2);
+                    for q in p.points() {
+                        let _ = write!(line, " {} {}", q.x * 2, q.y * 2);
+                    }
+                    let _ = writeln!(out, "{line};");
+                }
+                ShapeGeom::Poly(p) => {
+                    let mut line = String::from("P");
+                    for q in p.vertices() {
+                        let _ = write!(line, " {} {}", q.x * 2, q.y * 2);
+                    }
+                    let _ = writeln!(out, "{line};");
+                }
+            }
+        }
+        for inst in cell.instances() {
+            let t = &inst.transform;
+            let _ = writeln!(
+                out,
+                "C {}{} T {} {};",
+                number[&inst.cell],
+                orient_ops(t.orient),
+                t.offset.x * 2,
+                t.offset.y * 2
+            );
+        }
+        let _ = writeln!(out, "DF;");
+    }
+    let _ = writeln!(out, "C {} T 0 0;", number[&top]);
+    let _ = writeln!(out, "E");
+    Ok(out)
+}
+
+fn collect(
+    lib: &Library,
+    id: CellId,
+    seen: &mut std::collections::HashSet<CellId>,
+    order: &mut Vec<CellId>,
+) {
+    if !seen.insert(id) {
+        return;
+    }
+    for inst in lib.cell(id).instances() {
+        collect(lib, inst.cell, seen, order);
+    }
+    order.push(id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_cell::{Cell, Shape};
+    use bristle_geom::{Layer, Point, Rect, Transform};
+
+    #[test]
+    fn boxes_emit_centers() {
+        let mut lib = Library::new("t");
+        let mut c = Cell::new("unit");
+        c.push_shape(Shape::rect(Layer::Metal, Rect::new(1, 0, 4, 2)));
+        let id = lib.add_cell(c).unwrap();
+        let text = write_cif(&lib, id).unwrap();
+        // width 3λ -> 6, height 2λ -> 4, center (2.5, 1) -> (5, 2).
+        assert!(text.contains("B 6 4 5 2;"), "{text}");
+        assert!(text.contains("L NM;"));
+        assert!(text.contains("9 unit;"));
+        assert!(text.trim_end().ends_with('E'));
+    }
+
+    #[test]
+    fn children_defined_before_parents() {
+        let mut lib = Library::new("t");
+        let mut leaf = Cell::new("leaf");
+        leaf.push_shape(Shape::rect(Layer::Poly, Rect::new(0, 0, 2, 2)));
+        let lid = lib.add_cell(leaf).unwrap();
+        let mut top = Cell::new("top");
+        top.push_shape(Shape::rect(Layer::Metal, Rect::new(0, 0, 2, 2)));
+        let tid = lib.add_cell(top).unwrap();
+        lib.add_instance(tid, lid, "u", Transform::translate(Point::new(4, 0)))
+            .unwrap();
+        let text = write_cif(&lib, tid).unwrap();
+        let leaf_pos = text.find("9 leaf;").unwrap();
+        let top_pos = text.find("9 top;").unwrap();
+        assert!(leaf_pos < top_pos);
+        // Translation in half-λ.
+        assert!(text.contains("C 1 T 8 0;"), "{text}");
+    }
+
+    #[test]
+    fn orientations_emit_ops() {
+        assert_eq!(orient_ops(Orientation::R0), "");
+        assert_eq!(orient_ops(Orientation::MR90), " MX R 0 1");
+    }
+
+    #[test]
+    fn empty_cell_rejected() {
+        let mut lib = Library::new("t");
+        let id = lib.add_cell(Cell::new("void")).unwrap();
+        assert!(matches!(
+            write_cif(&lib, id),
+            Err(WriteCifError::EmptyCell(_))
+        ));
+    }
+
+    #[test]
+    fn shared_subcell_emitted_once() {
+        let mut lib = Library::new("t");
+        let mut leaf = Cell::new("leaf");
+        leaf.push_shape(Shape::rect(Layer::Poly, Rect::new(0, 0, 2, 2)));
+        let lid = lib.add_cell(leaf).unwrap();
+        let mut top = Cell::new("top");
+        top.push_shape(Shape::rect(Layer::Metal, Rect::new(0, 0, 2, 2)));
+        let tid = lib.add_cell(top).unwrap();
+        for i in 0..3 {
+            lib.add_instance(
+                tid,
+                lid,
+                format!("u{i}"),
+                Transform::translate(Point::new(4 * i, 0)),
+            )
+            .unwrap();
+        }
+        let text = write_cif(&lib, tid).unwrap();
+        assert_eq!(text.matches("9 leaf;").count(), 1);
+        assert_eq!(text.matches("C 1").count(), 3);
+    }
+}

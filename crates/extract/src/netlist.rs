@@ -1,0 +1,572 @@
+//! The extractor and its output model.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bristle_cell::{CellId, Library};
+use bristle_geom::{Layer, Rect, RectIndex};
+
+use crate::union_find::UnionFind;
+
+/// Identifier of an electrical net within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Enhancement (switching) or depletion (load) device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransistorKind {
+    /// Enhancement-mode: off at Vgs = 0; the logic switch.
+    Enhancement,
+    /// Depletion-mode (implanted): on at Vgs = 0; the pull-up load.
+    Depletion,
+}
+
+impl fmt::Display for TransistorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransistorKind::Enhancement => f.write_str("enh"),
+            TransistorKind::Depletion => f.write_str("dep"),
+        }
+    }
+}
+
+/// One extracted transistor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transistor {
+    /// Device kind.
+    pub kind: TransistorKind,
+    /// Gate net (poly).
+    pub gate: NetId,
+    /// One channel terminal (diffusion). nMOS devices are symmetric; the
+    /// names are conventional.
+    pub source: NetId,
+    /// The other channel terminal.
+    pub drain: NetId,
+    /// The gate region in top-cell coordinates.
+    pub region: Rect,
+    /// Channel width in λ.
+    pub width: i64,
+    /// Channel length in λ.
+    pub length: i64,
+}
+
+/// An extracted netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    /// Net names, indexed by [`NetId`]. Unnamed nets get `n<k>`.
+    pub net_names: Vec<String>,
+    /// Extracted devices.
+    pub transistors: Vec<Transistor>,
+    /// Bristle terminals: `(qualified bristle name, net)`.
+    pub terminals: Vec<(String, NetId)>,
+}
+
+impl Netlist {
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Finds a net by its name.
+    #[must_use]
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// The net a terminal (qualified bristle name) connects to.
+    #[must_use]
+    pub fn terminal_net(&self, name: &str) -> Option<NetId> {
+        self.terminals
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| id)
+    }
+
+    /// Devices whose gate is on `net`.
+    pub fn driven_by_gate(&self, net: NetId) -> impl Iterator<Item = &Transistor> {
+        self.transistors.iter().filter(move |t| t.gate == net)
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "netlist: {} nets, {} transistors",
+            self.net_count(),
+            self.transistors.len()
+        )?;
+        for t in &self.transistors {
+            writeln!(
+                f,
+                "  {} g={} s={} d={} W/L={}/{} at {}",
+                t.kind,
+                self.net_names[t.gate.0 as usize],
+                self.net_names[t.source.0 as usize],
+                self.net_names[t.drain.0 as usize],
+                t.width,
+                t.length,
+                t.region
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A conductor rectangle with provenance.
+#[derive(Debug, Clone)]
+struct Piece {
+    layer: Layer,
+    rect: Rect,
+    label: Option<String>,
+}
+
+/// Extracts the transistor netlist of a flattened cell hierarchy.
+///
+/// Net names come from shape labels (`Shape::with_label`) and from
+/// bristles; unlabeled nets are named `n<k>`.
+///
+/// # Panics
+///
+/// Panics if `top` is not a cell of `lib`.
+#[must_use]
+pub fn extract(lib: &Library, top: CellId) -> Netlist {
+    let flat = lib.flatten(top);
+
+    // Gather per-layer rects (conductors split later; cuts kept whole).
+    let mut poly: Vec<Piece> = Vec::new();
+    let mut diff: Vec<Piece> = Vec::new();
+    let mut metal: Vec<Piece> = Vec::new();
+    let mut contacts: Vec<Rect> = Vec::new();
+    let mut buried: Vec<Rect> = Vec::new();
+    let mut implants: Vec<Rect> = Vec::new();
+    for fs in &flat {
+        let label = fs.shape.label().map(str::to_owned);
+        for r in fs.shape.to_rects() {
+            if r.is_degenerate() {
+                continue;
+            }
+            let piece = Piece {
+                layer: fs.shape.layer,
+                rect: r,
+                label: label.clone(),
+            };
+            match fs.shape.layer {
+                Layer::Poly => poly.push(piece),
+                Layer::Diffusion => diff.push(piece),
+                Layer::Metal => metal.push(piece),
+                Layer::Contact => contacts.push(r),
+                Layer::Buried => buried.push(r),
+                Layer::Implant => implants.push(r),
+                Layer::Overglass => {}
+            }
+        }
+    }
+
+    // Find gate regions: poly ∩ diffusion, minus buried-contact cover.
+    let mut poly_index = RectIndex::new(16);
+    for (i, p) in poly.iter().enumerate() {
+        poly_index.insert(i, p.rect);
+    }
+    let mut gates: Vec<(Rect, usize)> = Vec::new(); // (region, poly piece index)
+    for d in &diff {
+        for (pi, pr) in poly_index.query(d.rect) {
+            if let Some(g) = pr.intersection(&d.rect) {
+                if !crate::netlist::covered(g, &buried) {
+                    gates.push((g, pi));
+                }
+            }
+        }
+    }
+    gates.sort_by_key(|&(g, _)| g);
+    gates.dedup_by_key(|&mut (g, _)| g);
+
+    // Split diffusion at the gates.
+    let gate_rects: Vec<Rect> = gates.iter().map(|&(g, _)| g).collect();
+    let mut channel_pieces: Vec<Piece> = Vec::new();
+    for d in diff {
+        for r in d.rect.subtract(&gate_rects) {
+            if !r.is_degenerate() {
+                channel_pieces.push(Piece {
+                    layer: Layer::Diffusion,
+                    rect: r,
+                    label: d.label.clone(),
+                });
+            }
+        }
+    }
+    let diff = channel_pieces;
+
+    // Build the global piece list and indexes.
+    let mut pieces: Vec<Piece> = Vec::new();
+    pieces.extend(poly);
+    let poly_range = 0..pieces.len();
+    pieces.extend(diff);
+    let diff_range = poly_range.end..pieces.len();
+    pieces.extend(metal);
+    let metal_range = diff_range.end..pieces.len();
+
+    let mut index_by_layer: HashMap<Layer, RectIndex> = HashMap::new();
+    for (i, p) in pieces.iter().enumerate() {
+        index_by_layer
+            .entry(p.layer)
+            .or_insert_with(|| RectIndex::new(16))
+            .insert(i, p.rect);
+    }
+
+    let mut uf = UnionFind::new(pieces.len());
+
+    // Same-layer touching rects connect.
+    for (i, p) in pieces.iter().enumerate() {
+        if let Some(idx) = index_by_layer.get(&p.layer) {
+            for (j, _) in idx.query(p.rect) {
+                if j > i && pieces[j].rect.touches(&p.rect) {
+                    uf.union(i, j);
+                }
+            }
+        }
+    }
+
+    // Contacts join everything they overlap (metal↔poly/diff; a butting
+    // contact may join all three).
+    for c in &contacts {
+        let mut first: Option<usize> = None;
+        for range in [poly_range.clone(), diff_range.clone(), metal_range.clone()] {
+            for i in range {
+                if pieces[i].rect.overlaps(c) {
+                    match first {
+                        None => first = Some(i),
+                        Some(f) => uf.union(f, i),
+                    }
+                }
+            }
+        }
+    }
+
+    // Buried contacts join poly and diffusion.
+    for b in &buried {
+        let mut first: Option<usize> = None;
+        for range in [poly_range.clone(), diff_range.clone()] {
+            for i in range {
+                if pieces[i].rect.overlaps(b) {
+                    match first {
+                        None => first = Some(i),
+                        Some(f) => uf.union(f, i),
+                    }
+                }
+            }
+        }
+    }
+
+    // Assign net ids to union-find roots.
+    let mut root_to_net: HashMap<usize, NetId> = HashMap::new();
+    let mut names: Vec<Option<String>> = Vec::new();
+    for i in 0..pieces.len() {
+        let root = uf.find(i);
+        let next = NetId(root_to_net.len() as u32);
+        let id = *root_to_net.entry(root).or_insert(next);
+        if id.0 as usize == names.len() {
+            names.push(None);
+        }
+        // Prefer shape labels; first labeled piece wins.
+        if names[id.0 as usize].is_none() {
+            names[id.0 as usize] = pieces[i].label.clone();
+        }
+    }
+
+    let net_of = |uf: &mut UnionFind, i: usize| -> NetId { root_to_net[&uf.find(i)] };
+
+    // Bristle terminals: name the net under each bristle position.
+    let mut terminals: Vec<(String, NetId)> = Vec::new();
+    for b in lib.flat_bristles(top) {
+        // A bristle names whichever piece of its layer contains its point.
+        let hit = pieces.iter().enumerate().find(|(_, p)| {
+            p.layer == b.layer && p.rect.contains(b.pos)
+        });
+        if let Some((i, _)) = hit {
+            let id = net_of(&mut uf, i);
+            if names[id.0 as usize].is_none() {
+                names[id.0 as usize] = Some(b.name.clone());
+            }
+            terminals.push((b.name.clone(), id));
+        }
+    }
+
+    // Transistors: for each gate, the gate net is its poly piece's net;
+    // source/drain are diffusion pieces touching the gate region.
+    let mut transistors = Vec::new();
+    let diff_idx = index_by_layer.get(&Layer::Diffusion);
+    for &(g, poly_piece) in &gates {
+        let gate_net = net_of(&mut uf, poly_piece);
+        let mut sd: Vec<NetId> = Vec::new();
+        if let Some(didx) = diff_idx {
+            for (j, r) in didx.query(g.inflate(1)) {
+                if r.touches(&g) {
+                    let id = net_of(&mut uf, j);
+                    if !sd.contains(&id) {
+                        sd.push(id);
+                    }
+                }
+            }
+        }
+        sd.sort_unstable();
+        let (source, drain) = match sd.as_slice() {
+            [] => continue, // floating gate region: no usable device
+            [only] => (*only, *only),
+            [a, b, ..] => (*a, *b),
+        };
+        let kind = if implants.iter().any(|imp| imp.overlaps(&g)) {
+            TransistorKind::Depletion
+        } else {
+            TransistorKind::Enhancement
+        };
+        // Channel direction: diffusion continues past the gate on two
+        // opposite sides; current flows that way. If diffusion extends
+        // vertically, L = gate height and W = gate width.
+        let vertical = pieces
+            .iter()
+            .any(|p| p.layer == Layer::Diffusion && p.rect.touches(&g) && {
+                let r = p.rect;
+                r.x0 < g.x1 && g.x0 < r.x1 && (r.y1 == g.y0 || r.y0 == g.y1)
+            });
+        let (width, length) = if vertical {
+            (g.width(), g.height())
+        } else {
+            (g.height(), g.width())
+        };
+        transistors.push(Transistor {
+            kind,
+            gate: gate_net,
+            source,
+            drain,
+            region: g,
+            width,
+            length,
+        });
+    }
+    transistors.sort_by_key(|t| t.region);
+
+    let net_names = names
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| n.unwrap_or_else(|| format!("n{i}")))
+        .collect();
+
+    Netlist {
+        net_names,
+        transistors,
+        terminals,
+    }
+}
+
+/// True if `window` is fully covered by the union of `rects`.
+/// (Same algorithm as `bristle_drc::covered_by`; duplicated to keep the
+/// crates independent.)
+fn covered(window: Rect, rects: &[Rect]) -> bool {
+    if window.is_degenerate() {
+        return true;
+    }
+    let mut residue = vec![window];
+    for r in rects {
+        if residue.is_empty() {
+            return true;
+        }
+        let mut next = Vec::with_capacity(residue.len());
+        for piece in residue {
+            match piece.intersection(r) {
+                None => next.push(piece),
+                Some(hit) => {
+                    if piece.y1 > hit.y1 {
+                        next.push(Rect::new(piece.x0, hit.y1, piece.x1, piece.y1));
+                    }
+                    if piece.y0 < hit.y0 {
+                        next.push(Rect::new(piece.x0, piece.y0, piece.x1, hit.y0));
+                    }
+                    if piece.x0 < hit.x0 {
+                        next.push(Rect::new(piece.x0, hit.y0, hit.x0, hit.y1));
+                    }
+                    if piece.x1 > hit.x1 {
+                        next.push(Rect::new(hit.x1, hit.y0, piece.x1, hit.y1));
+                    }
+                }
+            }
+        }
+        residue = next;
+    }
+    residue.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_cell::{Bristle, Cell, Flavor, Library, Shape, Side};
+    use bristle_geom::Point;
+
+    fn build(shapes: Vec<Shape>, bristles: Vec<Bristle>) -> Netlist {
+        let mut lib = Library::new("t");
+        let mut c = Cell::new("dut");
+        for s in shapes {
+            c.push_shape(s);
+        }
+        for b in bristles {
+            c.push_bristle(b);
+        }
+        let id = lib.add_cell(c).unwrap();
+        extract(&lib, id)
+    }
+
+    #[test]
+    fn single_enhancement_transistor() {
+        let n = build(
+            vec![
+                Shape::rect(Layer::Diffusion, Rect::new(0, -4, 2, 6)).with_label("chan"),
+                Shape::rect(Layer::Poly, Rect::new(-2, 0, 4, 2)).with_label("gate"),
+            ],
+            vec![],
+        );
+        assert_eq!(n.transistors.len(), 1);
+        let t = &n.transistors[0];
+        assert_eq!(t.kind, TransistorKind::Enhancement);
+        assert_eq!(n.net_names[t.gate.0 as usize], "gate");
+        // Source and drain are distinct nets (diffusion split by gate).
+        assert_ne!(t.source, t.drain);
+        // Vertical diffusion: W = 2 (x), L = 2 (y).
+        assert_eq!((t.width, t.length), (2, 2));
+    }
+
+    #[test]
+    fn depletion_recognized_by_implant() {
+        let n = build(
+            vec![
+                Shape::rect(Layer::Diffusion, Rect::new(0, -4, 2, 6)),
+                Shape::rect(Layer::Poly, Rect::new(-2, 0, 4, 2)),
+                Shape::rect(Layer::Implant, Rect::new(-1, -1, 3, 3)),
+            ],
+            vec![],
+        );
+        assert_eq!(n.transistors[0].kind, TransistorKind::Depletion);
+    }
+
+    #[test]
+    fn contact_joins_metal_and_diff() {
+        let n = build(
+            vec![
+                Shape::rect(Layer::Diffusion, Rect::new(0, 0, 4, 4)).with_label("d"),
+                Shape::rect(Layer::Metal, Rect::new(0, 0, 4, 4)).with_label("m"),
+                Shape::rect(Layer::Contact, Rect::new(1, 1, 3, 3)),
+            ],
+            vec![],
+        );
+        // One net: metal and diffusion united through the cut.
+        assert_eq!(n.net_count(), 1);
+        assert_eq!(n.transistors.len(), 0);
+    }
+
+    #[test]
+    fn no_contact_means_separate_nets() {
+        let n = build(
+            vec![
+                Shape::rect(Layer::Diffusion, Rect::new(0, 0, 4, 4)),
+                Shape::rect(Layer::Metal, Rect::new(0, 0, 4, 4)),
+            ],
+            vec![],
+        );
+        assert_eq!(n.net_count(), 2);
+    }
+
+    #[test]
+    fn buried_joins_poly_and_diff() {
+        let n = build(
+            vec![
+                Shape::rect(Layer::Diffusion, Rect::new(0, 0, 5, 2)),
+                Shape::rect(Layer::Poly, Rect::new(3, 0, 8, 2)),
+                Shape::rect(Layer::Buried, Rect::new(3, 0, 5, 2)),
+            ],
+            vec![],
+        );
+        assert_eq!(n.net_count(), 1);
+        assert_eq!(n.transistors.len(), 0); // covered overlap is no gate
+    }
+
+    #[test]
+    fn inverter_netlist() {
+        // Depletion pull-up from VDD to OUT (gate tied to OUT via buried),
+        // enhancement pull-down from OUT to GND driven by IN.
+        let shapes = vec![
+            // Vertical diffusion column: VDD at top, GND at bottom.
+            Shape::rect(Layer::Diffusion, Rect::new(0, 0, 2, 20)),
+            // Depletion gate at y 12..14.
+            Shape::rect(Layer::Poly, Rect::new(-2, 12, 4, 14)).with_label("pup_gate"),
+            Shape::rect(Layer::Implant, Rect::new(-3, 11, 5, 15)),
+            // Enhancement gate at y 6..8.
+            Shape::rect(Layer::Poly, Rect::new(-2, 6, 4, 8)).with_label("in"),
+            // Output metal strap contacted to the middle diffusion.
+            Shape::rect(Layer::Metal, Rect::new(-1, 8, 3, 12)).with_label("out"),
+            Shape::rect(Layer::Contact, Rect::new(0, 9, 2, 11)),
+            // Rails.
+            Shape::rect(Layer::Metal, Rect::new(-4, 18, 6, 22)).with_label("VDD"),
+            Shape::rect(Layer::Contact, Rect::new(0, 18, 2, 20)),
+            Shape::rect(Layer::Metal, Rect::new(-4, -2, 6, 2)).with_label("GND"),
+            Shape::rect(Layer::Contact, Rect::new(0, 0, 2, 2)),
+        ];
+        let n = build(shapes, vec![]);
+        assert_eq!(n.transistors.len(), 2, "{n}");
+        let dep = n
+            .transistors
+            .iter()
+            .find(|t| t.kind == TransistorKind::Depletion)
+            .unwrap();
+        let enh = n
+            .transistors
+            .iter()
+            .find(|t| t.kind == TransistorKind::Enhancement)
+            .unwrap();
+        let name = |id: NetId| n.net_names[id.0 as usize].as_str();
+        // Depletion channel runs VDD..out; enhancement runs out..GND.
+        let dep_nets = [name(dep.source), name(dep.drain)];
+        assert!(dep_nets.contains(&"VDD") && dep_nets.contains(&"out"), "{n}");
+        let enh_nets = [name(enh.source), name(enh.drain)];
+        assert!(enh_nets.contains(&"GND") && enh_nets.contains(&"out"), "{n}");
+        assert_eq!(name(enh.gate), "in");
+    }
+
+    #[test]
+    fn bristle_names_nets() {
+        let n = build(
+            vec![Shape::rect(Layer::Metal, Rect::new(0, 0, 10, 4))],
+            vec![Bristle::new(
+                "bus_tap",
+                Layer::Metal,
+                Point::new(0, 2),
+                Side::West,
+                Flavor::Signal,
+            )],
+        );
+        assert_eq!(n.net_count(), 1);
+        assert_eq!(n.net_names[0], "bus_tap");
+        assert_eq!(n.terminal_net("bus_tap"), Some(NetId(0)));
+    }
+
+    #[test]
+    fn find_net_and_driven_by() {
+        let n = build(
+            vec![
+                Shape::rect(Layer::Diffusion, Rect::new(0, -4, 2, 6)),
+                Shape::rect(Layer::Poly, Rect::new(-2, 0, 4, 2)).with_label("g"),
+            ],
+            vec![],
+        );
+        let g = n.find_net("g").unwrap();
+        assert_eq!(n.driven_by_gate(g).count(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! A plain union–find (disjoint set) with path compression and union by
+//! rank, used for layout connectivity.
+
+/// Disjoint-set forest over `0..len`.
+///
+/// # Examples
+///
+/// ```
+/// use bristle_extract::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 2);
+/// assert!(uf.same(0, 2));
+/// assert!(!uf.same(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets.
+    #[must_use]
+    pub fn new(len: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..len as u32).collect(),
+            rank: vec![0; len],
+        }
+    }
+
+    /// Number of elements (not sets).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the forest is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root as usize
+    }
+
+    /// Merges the sets of `a` and `b`.
+    pub fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+
+    /// True if `a` and `b` share a set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert!(uf.same(0, 1));
+        assert!(uf.same(3, 4));
+        assert!(!uf.same(1, 3));
+        uf.union(1, 3);
+        assert!(uf.same(0, 4));
+    }
+
+    #[test]
+    fn self_union_is_noop() {
+        let mut uf = UnionFind::new(2);
+        uf.union(1, 1);
+        assert!(!uf.same(0, 1));
+    }
+
+    #[test]
+    fn transitive_chains() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert!(uf.same(0, 99));
+        assert_eq!(uf.len(), 100);
+    }
+}

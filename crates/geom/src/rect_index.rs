@@ -1,0 +1,160 @@
+//! A binned spatial index over rectangles.
+//!
+//! DRC and extraction repeatedly ask "which shapes are near this one?".
+//! A uniform-bin index is ample for chip-sized rectangle sets and keeps
+//! the implementation transparent.
+
+use std::collections::HashSet;
+
+use crate::Rect;
+
+/// A uniform-grid spatial index mapping bins to rectangle ids.
+///
+/// Ids are indices into the caller's rectangle storage; the index itself
+/// stores copies of the rectangles for overlap confirmation.
+///
+/// # Examples
+///
+/// ```
+/// use bristle_geom::{Rect, RectIndex};
+///
+/// let mut idx = RectIndex::new(16);
+/// idx.insert(0, Rect::new(0, 0, 4, 4));
+/// idx.insert(1, Rect::new(100, 100, 104, 104));
+/// let near: Vec<_> = idx.query(Rect::new(2, 2, 6, 6)).collect();
+/// assert_eq!(near, vec![(0, Rect::new(0, 0, 4, 4))]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RectIndex {
+    bin: i64,
+    items: Vec<(usize, Rect)>,
+    bins: std::collections::HashMap<(i64, i64), Vec<u32>>,
+}
+
+impl RectIndex {
+    /// Creates an index with the given bin size (λ). Bin sizes around the
+    /// typical shape pitch (8–32 λ) work well.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_size` is not positive.
+    #[must_use]
+    pub fn new(bin_size: i64) -> RectIndex {
+        assert!(bin_size > 0, "bin size must be positive, got {bin_size}");
+        RectIndex {
+            bin: bin_size,
+            items: Vec::new(),
+            bins: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Number of rectangles stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no rectangles are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn bin_range(&self, r: &Rect) -> ((i64, i64), (i64, i64)) {
+        (
+            (r.x0.div_euclid(self.bin), r.y0.div_euclid(self.bin)),
+            (r.x1.div_euclid(self.bin), r.y1.div_euclid(self.bin)),
+        )
+    }
+
+    /// Inserts a rectangle with a caller-chosen id.
+    pub fn insert(&mut self, id: usize, r: Rect) {
+        let slot = self.items.len() as u32;
+        self.items.push((id, r));
+        let ((bx0, by0), (bx1, by1)) = self.bin_range(&r);
+        for bx in bx0..=bx1 {
+            for by in by0..=by1 {
+                self.bins.entry((bx, by)).or_default().push(slot);
+            }
+        }
+    }
+
+    /// All rectangles whose bounding boxes **touch** the query window
+    /// (overlap or share an edge/corner). Each stored rectangle is yielded
+    /// at most once, in insertion order.
+    pub fn query(&self, window: Rect) -> impl Iterator<Item = (usize, Rect)> + '_ {
+        let ((bx0, by0), (bx1, by1)) = self.bin_range(&window);
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut slots: Vec<u32> = Vec::new();
+        for bx in bx0..=bx1 {
+            for by in by0..=by1 {
+                if let Some(v) = self.bins.get(&(bx, by)) {
+                    for &s in v {
+                        if seen.insert(s) {
+                            slots.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        slots.sort_unstable();
+        slots.into_iter().filter_map(move |s| {
+            let (id, r) = self.items[s as usize];
+            r.touches(&window).then_some((id, r))
+        })
+    }
+
+    /// Iterates over all stored `(id, rect)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Rect)> + '_ {
+        self.items.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_finds_touching() {
+        let mut idx = RectIndex::new(8);
+        idx.insert(7, Rect::new(0, 0, 4, 4));
+        idx.insert(8, Rect::new(4, 0, 8, 4)); // shares an edge with the window below
+        idx.insert(9, Rect::new(50, 50, 54, 54));
+        let hits: Vec<usize> = idx.query(Rect::new(0, 0, 4, 4)).map(|(i, _)| i).collect();
+        assert_eq!(hits, vec![7, 8]);
+    }
+
+    #[test]
+    fn no_duplicates_across_bins() {
+        let mut idx = RectIndex::new(4);
+        // Spans many bins.
+        idx.insert(1, Rect::new(0, 0, 40, 2));
+        let hits: Vec<usize> = idx.query(Rect::new(0, 0, 40, 2)).map(|(i, _)| i).collect();
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let mut idx = RectIndex::new(8);
+        idx.insert(0, Rect::new(-20, -20, -10, -10));
+        assert_eq!(idx.query(Rect::new(-15, -15, -12, -12)).count(), 1);
+        assert_eq!(idx.query(Rect::new(0, 0, 4, 4)).count(), 0);
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let mut idx = RectIndex::new(8);
+        assert!(idx.is_empty());
+        idx.insert(3, Rect::new(0, 0, 1, 1));
+        idx.insert(4, Rect::new(2, 2, 3, 3));
+        assert_eq!(idx.len(), 2);
+        let all: Vec<usize> = idx.iter().map(|(i, _)| i).collect();
+        assert_eq!(all, vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin size must be positive")]
+    fn zero_bin_panics() {
+        let _ = RectIndex::new(0);
+    }
+}

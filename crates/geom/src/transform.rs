@@ -1,0 +1,312 @@
+//! Manhattan transforms: the dihedral group D₄ plus translation.
+
+use std::fmt;
+
+use crate::{Point, Rect};
+
+/// One of the eight Manhattan orientations: four rotations, optionally
+/// preceded by a mirror about the y axis (x ↦ −x).
+///
+/// `MX*` variants apply the mirror **first**, then the rotation, i.e.
+/// `MR90` maps `p` to `rot90(mirror_x(p))`.
+///
+/// # Examples
+///
+/// ```
+/// use bristle_geom::{Orientation, Point};
+///
+/// let p = Point::new(2, 1);
+/// assert_eq!(Orientation::R90.apply(p), Point::new(-1, 2));
+/// assert_eq!(Orientation::MR0.apply(p), Point::new(-2, 1));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Orientation {
+    /// Identity.
+    #[default]
+    R0,
+    /// Rotate 90° counter-clockwise.
+    R90,
+    /// Rotate 180°.
+    R180,
+    /// Rotate 270° counter-clockwise.
+    R270,
+    /// Mirror about the y axis (x ↦ −x).
+    MR0,
+    /// Mirror, then rotate 90° CCW.
+    MR90,
+    /// Mirror, then rotate 180° (equivalently: mirror about the x axis).
+    MR180,
+    /// Mirror, then rotate 270° CCW.
+    MR270,
+}
+
+impl Orientation {
+    /// All eight orientations, identity first.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::MR0,
+        Orientation::MR90,
+        Orientation::MR180,
+        Orientation::MR270,
+    ];
+
+    /// Number of CCW quarter-turns applied after the (optional) mirror.
+    #[must_use]
+    pub fn quarter_turns(self) -> u8 {
+        match self {
+            Orientation::R0 | Orientation::MR0 => 0,
+            Orientation::R90 | Orientation::MR90 => 1,
+            Orientation::R180 | Orientation::MR180 => 2,
+            Orientation::R270 | Orientation::MR270 => 3,
+        }
+    }
+
+    /// True if the orientation includes the mirror.
+    #[must_use]
+    pub fn is_mirrored(self) -> bool {
+        matches!(
+            self,
+            Orientation::MR0 | Orientation::MR90 | Orientation::MR180 | Orientation::MR270
+        )
+    }
+
+    fn from_parts(mirror: bool, turns: u8) -> Orientation {
+        match (mirror, turns % 4) {
+            (false, 0) => Orientation::R0,
+            (false, 1) => Orientation::R90,
+            (false, 2) => Orientation::R180,
+            (false, 3) => Orientation::R270,
+            (true, 0) => Orientation::MR0,
+            (true, 1) => Orientation::MR90,
+            (true, 2) => Orientation::MR180,
+            (true, 3) => Orientation::MR270,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Applies the orientation to a point (about the origin).
+    #[must_use]
+    pub fn apply(self, p: Point) -> Point {
+        let m = if self.is_mirrored() { Point::new(-p.x, p.y) } else { p };
+        match self.quarter_turns() {
+            0 => m,
+            1 => Point::new(-m.y, m.x),
+            2 => Point::new(-m.x, -m.y),
+            3 => Point::new(m.y, -m.x),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Composition: the orientation equivalent to applying `self` **after**
+    /// `first`.
+    ///
+    /// `self.after(first).apply(p) == self.apply(first.apply(p))` for all
+    /// points `p`.
+    #[must_use]
+    pub fn after(self, first: Orientation) -> Orientation {
+        // Work in the group ⟨r, m | r⁴ = m² = e, m·r = r⁻¹·m⟩.
+        // Each orientation is rᵗ·mˢ (mirror applied first).
+        let (t1, s1) = (i32::from(first.quarter_turns()), first.is_mirrored());
+        let (t2, s2) = (i32::from(self.quarter_turns()), self.is_mirrored());
+        // self ∘ first = rᵗ²·mˢ²·rᵗ¹·mˢ¹
+        //             = rᵗ²·r^(±t1)·mˢ²·mˢ¹   (m·rᵗ = r⁻ᵗ·m)
+        let t = if s2 { t2 - t1 } else { t2 + t1 };
+        let s = s1 ^ s2;
+        Orientation::from_parts(s, t.rem_euclid(4) as u8)
+    }
+
+    /// The inverse orientation: `self.inverse().after(self) == R0`.
+    #[must_use]
+    pub fn inverse(self) -> Orientation {
+        let t = self.quarter_turns();
+        if self.is_mirrored() {
+            // (rᵗ·m)⁻¹ = m·r⁻ᵗ = rᵗ·m
+            self
+        } else {
+            Orientation::from_parts(false, (4 - t) % 4)
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Orientation::R0 => "R0",
+            Orientation::R90 => "R90",
+            Orientation::R180 => "R180",
+            Orientation::R270 => "R270",
+            Orientation::MR0 => "MR0",
+            Orientation::MR90 => "MR90",
+            Orientation::MR180 => "MR180",
+            Orientation::MR270 => "MR270",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A rigid Manhattan transform: orientation about the origin followed by a
+/// translation. This is how cell [`Instance`](https://docs.rs) placements
+/// are expressed.
+///
+/// # Examples
+///
+/// ```
+/// use bristle_geom::{Transform, Orientation, Point, Rect};
+///
+/// let t = Transform::translate(Point::new(5, 5));
+/// assert_eq!(t.apply(Point::ORIGIN), Point::new(5, 5));
+///
+/// let u = Transform::new(Orientation::R180, Point::new(10, 0));
+/// assert_eq!(u.apply_rect(Rect::new(0, 0, 2, 1)), Rect::new(8, -1, 10, 0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Transform {
+    /// Orientation applied about the origin, before translation.
+    pub orient: Orientation,
+    /// Translation applied after the orientation.
+    pub offset: Point,
+}
+
+impl Transform {
+    /// The identity transform.
+    pub const IDENTITY: Transform = Transform {
+        orient: Orientation::R0,
+        offset: Point::ORIGIN,
+    };
+
+    /// Creates a transform from an orientation and a subsequent translation.
+    #[must_use]
+    pub const fn new(orient: Orientation, offset: Point) -> Transform {
+        Transform { orient, offset }
+    }
+
+    /// Pure translation.
+    #[must_use]
+    pub const fn translate(offset: Point) -> Transform {
+        Transform {
+            orient: Orientation::R0,
+            offset,
+        }
+    }
+
+    /// Applies to a point.
+    #[must_use]
+    pub fn apply(&self, p: Point) -> Point {
+        self.orient.apply(p) + self.offset
+    }
+
+    /// Applies to a rectangle (result re-normalized).
+    #[must_use]
+    pub fn apply_rect(&self, r: Rect) -> Rect {
+        Rect::from_points(self.apply(r.lo()), self.apply(r.hi()))
+    }
+
+    /// Composition: the transform equivalent to applying `self` **after**
+    /// `first`; `self.after(&first).apply(p) == self.apply(first.apply(p))`.
+    #[must_use]
+    pub fn after(&self, first: &Transform) -> Transform {
+        Transform {
+            orient: self.orient.after(first.orient),
+            offset: self.orient.apply(first.offset) + self.offset,
+        }
+    }
+
+    /// The inverse transform.
+    #[must_use]
+    pub fn inverse(&self) -> Transform {
+        let inv = self.orient.inverse();
+        Transform {
+            orient: inv,
+            offset: -inv.apply(self.offset),
+        }
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.orient, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: [Point; 5] = [
+        Point { x: 0, y: 0 },
+        Point { x: 1, y: 0 },
+        Point { x: 0, y: 1 },
+        Point { x: 3, y: -2 },
+        Point { x: -7, y: 11 },
+    ];
+
+    #[test]
+    fn rotations() {
+        let p = Point::new(1, 0);
+        assert_eq!(Orientation::R90.apply(p), Point::new(0, 1));
+        assert_eq!(Orientation::R180.apply(p), Point::new(-1, 0));
+        assert_eq!(Orientation::R270.apply(p), Point::new(0, -1));
+    }
+
+    #[test]
+    fn mirror_then_rotate() {
+        let p = Point::new(2, 1);
+        assert_eq!(Orientation::MR0.apply(p), Point::new(-2, 1));
+        assert_eq!(Orientation::MR90.apply(p), Point::new(-1, -2));
+        assert_eq!(Orientation::MR180.apply(p), Point::new(2, -1));
+        assert_eq!(Orientation::MR270.apply(p), Point::new(1, 2));
+    }
+
+    #[test]
+    fn composition_matches_application() {
+        for &a in &Orientation::ALL {
+            for &b in &Orientation::ALL {
+                for &p in &SAMPLE {
+                    assert_eq!(
+                        a.after(b).apply(p),
+                        a.apply(b.apply(p)),
+                        "a={a} b={b} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        for &a in &Orientation::ALL {
+            assert_eq!(a.inverse().after(a), Orientation::R0, "a={a}");
+            assert_eq!(a.after(a.inverse()), Orientation::R0, "a={a}");
+        }
+    }
+
+    #[test]
+    fn transform_compose_and_invert() {
+        let t1 = Transform::new(Orientation::R90, Point::new(3, 4));
+        let t2 = Transform::new(Orientation::MR270, Point::new(-1, 2));
+        for &p in &SAMPLE {
+            assert_eq!(t2.after(&t1).apply(p), t2.apply(t1.apply(p)));
+            assert_eq!(t1.inverse().apply(t1.apply(p)), p);
+            assert_eq!(t2.inverse().apply(t2.apply(p)), p);
+        }
+    }
+
+    #[test]
+    fn rect_transform_normalizes() {
+        let r = Rect::new(0, 0, 4, 2);
+        let t = Transform::new(Orientation::R90, Point::ORIGIN);
+        // R90 maps (4,2) -> (-2,4): rect becomes [-2,0]x[0,4].
+        assert_eq!(t.apply_rect(r), Rect::new(-2, 0, 0, 4));
+    }
+
+    #[test]
+    fn identity_default() {
+        assert_eq!(Transform::default(), Transform::IDENTITY);
+        for &p in &SAMPLE {
+            assert_eq!(Transform::IDENTITY.apply(p), p);
+        }
+    }
+}

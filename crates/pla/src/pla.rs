@@ -1,0 +1,417 @@
+//! The PLA personality and its logic optimizer.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::spec::Cube;
+
+/// Size/effort statistics of a PLA, used by the decoder-optimization
+/// ablation (experiment A3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaStats {
+    /// Microcode input bits (before trimming).
+    pub inputs: u32,
+    /// Input bits actually used by some term.
+    pub used_inputs: u32,
+    /// Product terms (AND-plane rows).
+    pub terms: usize,
+    /// Output lines.
+    pub outputs: usize,
+    /// Programmed AND-plane crossings.
+    pub and_sites: usize,
+    /// Programmed OR-plane crossings.
+    pub or_sites: usize,
+}
+
+impl PlaStats {
+    /// A crude area figure: (2·inputs + outputs) columns × terms rows —
+    /// proportional to the silicon the layout generator will draw.
+    #[must_use]
+    pub fn grid_area(&self) -> usize {
+        (2 * self.used_inputs as usize + self.outputs) * self.terms
+    }
+}
+
+impl fmt::Display for PlaStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} terms × ({} inputs, {} outputs); {} AND + {} OR sites",
+            self.terms, self.used_inputs, self.outputs, self.and_sites, self.or_sites
+        )
+    }
+}
+
+/// A programmable logic array personality: shared product terms in the
+/// AND plane, output membership in the OR plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pla {
+    inputs: u32,
+    terms: Vec<Cube>,
+    /// `(output name, indices into terms)`.
+    outputs: Vec<(String, Vec<usize>)>,
+}
+
+impl Pla {
+    /// Assembles a PLA from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output references a missing term.
+    #[must_use]
+    pub fn from_parts(inputs: u32, terms: Vec<Cube>, outputs: Vec<(String, Vec<usize>)>) -> Pla {
+        for (name, ids) in &outputs {
+            for &id in ids {
+                assert!(id < terms.len(), "output `{name}` references term {id}");
+            }
+        }
+        Pla {
+            inputs,
+            terms,
+            outputs,
+        }
+    }
+
+    /// Input word width.
+    #[must_use]
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// The product terms.
+    #[must_use]
+    pub fn terms(&self) -> &[Cube] {
+        &self.terms
+    }
+
+    /// The outputs: `(name, term indices)`.
+    #[must_use]
+    pub fn outputs(&self) -> &[(String, Vec<usize>)] {
+        &self.outputs
+    }
+
+    /// Evaluates all outputs for a word.
+    #[must_use]
+    pub fn eval(&self, word: u64) -> Vec<(String, bool)> {
+        let fired: Vec<bool> = self.terms.iter().map(|t| t.matches(word)).collect();
+        self.outputs
+            .iter()
+            .map(|(name, ids)| (name.clone(), ids.iter().any(|&i| fired[i])))
+            .collect()
+    }
+
+    /// Evaluates one output for a word. `None` if the name is unknown.
+    #[must_use]
+    pub fn eval_output(&self, word: u64, name: &str) -> Option<bool> {
+        let (_, ids) = self.outputs.iter().find(|(n, _)| n == name)?;
+        Some(ids.iter().any(|&i| self.terms[i].matches(word)))
+    }
+
+    /// Statistics for the ablation benches.
+    #[must_use]
+    pub fn stats(&self) -> PlaStats {
+        let used_mask = self.terms.iter().fold(0u64, |m, t| m | t.care);
+        let and_sites = self
+            .terms
+            .iter()
+            .map(|t| t.care.count_ones() as usize)
+            .sum();
+        let or_sites = self.outputs.iter().map(|(_, ids)| ids.len()).sum();
+        PlaStats {
+            inputs: self.inputs,
+            used_inputs: used_mask.count_ones(),
+            terms: self.terms.len(),
+            outputs: self.outputs.len(),
+            and_sites,
+            or_sites,
+        }
+    }
+
+    /// The input bits actually used, LSB-first.
+    #[must_use]
+    pub fn used_input_bits(&self) -> Vec<u32> {
+        let used_mask = self.terms.iter().fold(0u64, |m, t| m | t.care);
+        (0..self.inputs).filter(|&b| used_mask >> b & 1 == 1).collect()
+    }
+
+    /// Optimizes the PLA in place, preserving function (the work the
+    /// paper assigns to the two-tape Turing machine):
+    ///
+    /// 1. **term sharing** — identical cubes collapse to one row,
+    /// 2. **subsumption** — within an output, a cube covered by another
+    ///    of that output's cubes is dropped,
+    /// 3. **adjacency merging** — two cubes of an output differing in one
+    ///    care-bit value merge, when both are exclusive to compatible
+    ///    output sets,
+    /// 4. **garbage collection** — unreferenced terms vanish.
+    ///
+    /// Returns the number of rows eliminated.
+    pub fn optimize(&mut self) -> usize {
+        let before = self.terms.len();
+        loop {
+            let mut changed = false;
+            changed |= self.share_terms();
+            changed |= self.subsume();
+            changed |= self.merge_adjacent();
+            changed |= self.collect_garbage();
+            if !changed {
+                break;
+            }
+        }
+        before - self.terms.len()
+    }
+
+    /// Collapses identical cubes to a single term row.
+    fn share_terms(&mut self) -> bool {
+        let mut canon: HashMap<Cube, usize> = HashMap::new();
+        let mut remap: Vec<usize> = Vec::with_capacity(self.terms.len());
+        for (i, &t) in self.terms.iter().enumerate() {
+            remap.push(*canon.entry(t).or_insert(i));
+        }
+        let mut changed = false;
+        for (_, ids) in &mut self.outputs {
+            for id in ids.iter_mut() {
+                if remap[*id] != *id {
+                    *id = remap[*id];
+                    changed = true;
+                }
+            }
+            ids.sort_unstable();
+            ids.dedup();
+        }
+        changed
+    }
+
+    /// Drops, per output, cubes covered by another cube of that output.
+    fn subsume(&mut self) -> bool {
+        let mut changed = false;
+        let terms = &self.terms;
+        for (_, ids) in &mut self.outputs {
+            let snapshot = ids.clone();
+            ids.retain(|&id| {
+                let covered = snapshot.iter().any(|&other| {
+                    other != id && terms[other].covers(&terms[id])
+                        // Break mutual-cover ties deterministically.
+                        && !(terms[id].covers(&terms[other]) && other > id)
+                });
+                if covered {
+                    changed = true;
+                }
+                !covered
+            });
+        }
+        changed
+    }
+
+    /// Merges adjacent cube pairs within outputs when both cubes belong
+    /// to exactly the same set of outputs (so the merge is sound for all
+    /// of them).
+    fn merge_adjacent(&mut self) -> bool {
+        // Which outputs reference each term?
+        let mut users: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (oi, (_, ids)) in self.outputs.iter().enumerate() {
+            for &id in ids {
+                users.entry(id).or_default().push(oi);
+            }
+        }
+        let term_ids: Vec<usize> = users.keys().copied().collect();
+        for (k, &a) in term_ids.iter().enumerate() {
+            for &b in &term_ids[k + 1..] {
+                if users[&a] != users[&b] {
+                    continue;
+                }
+                if let Some(merged) = self.terms[a].merge(&self.terms[b]) {
+                    // Rewrite a to the merged cube; drop b everywhere.
+                    self.terms[a] = merged;
+                    for (_, ids) in &mut self.outputs {
+                        ids.retain(|&id| id != b);
+                    }
+                    return true; // restart: users map is stale
+                }
+            }
+        }
+        false
+    }
+
+    /// Removes unreferenced terms, compacting indices.
+    fn collect_garbage(&mut self) -> bool {
+        let mut used = vec![false; self.terms.len()];
+        for (_, ids) in &self.outputs {
+            for &id in ids {
+                used[id] = true;
+            }
+        }
+        if used.iter().all(|&u| u) {
+            return false;
+        }
+        let mut remap = vec![usize::MAX; self.terms.len()];
+        let mut next = 0;
+        let mut new_terms = Vec::new();
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                remap[i] = next;
+                new_terms.push(self.terms[i]);
+                next += 1;
+            }
+        }
+        self.terms = new_terms;
+        for (_, ids) in &mut self.outputs {
+            for id in ids.iter_mut() {
+                *id = remap[*id];
+            }
+        }
+        true
+    }
+
+    /// Exhaustively verifies functional equivalence with another PLA over
+    /// all words of the used input bits.
+    ///
+    /// To stay tractable the check enumerates the union of both PLAs'
+    /// *used* bits (≤ `max_bits`, default-cap 24) and fixes unused bits
+    /// to zero — sound because unused bits cannot affect either function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_bits` input bits are in use.
+    #[must_use]
+    pub fn equivalent(&self, other: &Pla, max_bits: u32) -> bool {
+        if self.inputs != other.inputs {
+            return false;
+        }
+        let names_a: Vec<&String> = self.outputs.iter().map(|(n, _)| n).collect();
+        let names_b: Vec<&String> = other.outputs.iter().map(|(n, _)| n).collect();
+        if names_a != names_b {
+            return false;
+        }
+        let used = self.terms.iter().chain(other.terms.iter()).fold(0u64, |m, t| m | t.care);
+        let bits: Vec<u32> = (0..64).filter(|&b| used >> b & 1 == 1).collect();
+        assert!(
+            bits.len() as u32 <= max_bits,
+            "{} used bits exceed equivalence budget {max_bits}",
+            bits.len()
+        );
+        for combo in 0u64..(1 << bits.len()) {
+            let mut word = 0u64;
+            for (i, &b) in bits.iter().enumerate() {
+                if combo >> i & 1 == 1 {
+                    word |= 1 << b;
+                }
+            }
+            if self.eval(word) != other.eval(word) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Pla {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PLA {}", self.stats())?;
+        for (i, t) in self.terms.iter().enumerate() {
+            let users: Vec<&str> = self
+                .outputs
+                .iter()
+                .filter(|(_, ids)| ids.contains(&i))
+                .map(|(n, _)| n.as_str())
+                .collect();
+            writeln!(f, "  t{i}: {t} -> {}", users.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DecodeSpec;
+
+    fn cube(care: u64, value: u64) -> Cube {
+        Cube { care, value }
+    }
+
+    fn sample_spec() -> DecodeSpec {
+        let mut s = DecodeSpec::new(4);
+        // Two lines sharing the identical cube, plus mergeable pair.
+        s.add_line("x", vec![cube(0b0011, 0b0001)]);
+        s.add_line("y", vec![cube(0b0011, 0b0001)]);
+        s.add_line("z", vec![cube(0b0011, 0b0000), cube(0b0011, 0b0010)]);
+        s
+    }
+
+    #[test]
+    fn eval_matches_spec() {
+        let pla = sample_spec().to_pla();
+        assert_eq!(pla.eval_output(0b0001, "x"), Some(true));
+        assert_eq!(pla.eval_output(0b0001, "y"), Some(true));
+        assert_eq!(pla.eval_output(0b0001, "z"), Some(false));
+        assert_eq!(pla.eval_output(0b0000, "z"), Some(true));
+        assert_eq!(pla.eval_output(0b0010, "z"), Some(true));
+        assert_eq!(pla.eval_output(0, "ghost"), None);
+    }
+
+    #[test]
+    fn optimize_shares_and_merges() {
+        let mut pla = sample_spec().to_pla();
+        let original = pla.clone();
+        assert_eq!(pla.terms().len(), 4);
+        let removed = pla.optimize();
+        // x/y share one term; z's pair merges (00 and 10 differ in bit1):
+        // 2 + 1 = 3 removed, 2 rows remain... z: 00,10 -> -0 (bit1 dropped).
+        assert_eq!(removed, 2);
+        assert_eq!(pla.terms().len(), 2);
+        assert!(pla.equivalent(&original, 8));
+    }
+
+    #[test]
+    fn subsumption_drops_covered() {
+        let mut s = DecodeSpec::new(4);
+        s.add_line("o", vec![cube(0b0001, 0b0001), cube(0b0011, 0b0011)]);
+        let mut pla = s.to_pla();
+        let original = pla.clone();
+        pla.optimize();
+        assert_eq!(pla.terms().len(), 1);
+        assert!(pla.equivalent(&original, 8));
+    }
+
+    #[test]
+    fn optimization_never_changes_function() {
+        // A tangle of overlapping lines.
+        let mut s = DecodeSpec::new(6);
+        s.add_line("a", vec![cube(0b000111, 0b000101), cube(0b000111, 0b000111)]);
+        s.add_line("b", vec![cube(0b000111, 0b000101), cube(0b000111, 0b000111)]);
+        s.add_line("c", vec![cube(0b111000, 0b101000)]);
+        s.add_line("d", vec![cube(0b000100, 0b000100), cube(0b000111, 0b000101)]);
+        s.add_line("e", vec![cube(0, 0)]);
+        let mut pla = s.to_pla();
+        let original = pla.clone();
+        pla.optimize();
+        assert!(pla.equivalent(&original, 12));
+        assert!(pla.terms().len() < original.terms().len());
+    }
+
+    #[test]
+    fn stats_and_grid_area() {
+        let pla = sample_spec().to_pla();
+        let st = pla.stats();
+        assert_eq!(st.terms, 4);
+        assert_eq!(st.outputs, 3);
+        assert_eq!(st.used_inputs, 2);
+        assert_eq!(st.grid_area(), (2 * 2 + 3) * 4);
+    }
+
+    #[test]
+    fn inequivalent_detected() {
+        let mut a = DecodeSpec::new(4);
+        a.add_line("o", vec![cube(0b1, 0b1)]);
+        let mut b = DecodeSpec::new(4);
+        b.add_line("o", vec![cube(0b1, 0b0)]);
+        assert!(!a.to_pla().equivalent(&b.to_pla(), 8));
+    }
+
+    #[test]
+    fn used_input_bits() {
+        let pla = sample_spec().to_pla();
+        assert_eq!(pla.used_input_bits(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,334 @@
+//! The *text array*: decode functions for each control buffer.
+
+use std::fmt;
+
+use bristle_cell::{ActiveWhen, ControlLine};
+use bristle_sim::Microcode;
+
+use crate::pla::Pla;
+
+/// A product term over the microcode word: the input must match `value`
+/// on the bits set in `care`; other bits are don't-care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    /// Bits that participate in the term.
+    pub care: u64,
+    /// Required values on the `care` bits (bits outside `care` are 0).
+    pub value: u64,
+}
+
+impl Cube {
+    /// True if `word` satisfies the cube.
+    #[must_use]
+    pub fn matches(&self, word: u64) -> bool {
+        word & self.care == self.value
+    }
+
+    /// True if every word matched by `other` is matched by `self`.
+    #[must_use]
+    pub fn covers(&self, other: &Cube) -> bool {
+        // self's cares must be a subset of other's, and agree there.
+        self.care & other.care == self.care && other.value & self.care == self.value
+    }
+
+    /// Tries to merge two cubes differing in exactly one care bit's value
+    /// (same care mask): the classic adjacency merge.
+    #[must_use]
+    pub fn merge(&self, other: &Cube) -> Option<Cube> {
+        if self.care != other.care {
+            return None;
+        }
+        let diff = self.value ^ other.value;
+        if diff.count_ones() == 1 {
+            Some(Cube {
+                care: self.care & !diff,
+                value: self.value & !diff,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render LSB-first up to the highest care bit.
+        let top = 64 - self.care.leading_zeros();
+        if top == 0 {
+            return f.write_str("(always)");
+        }
+        for bit in (0..top).rev() {
+            let c = if self.care >> bit & 1 == 0 {
+                '-'
+            } else if self.value >> bit & 1 == 1 {
+                '1'
+            } else {
+                '0'
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One output line of the decoder: a named sum of cubes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeLine {
+    /// Control line name.
+    pub name: String,
+    /// Sum-of-products condition.
+    pub cubes: Vec<Cube>,
+}
+
+/// The text array: all decode functions the core's control bristles
+/// demand of the instruction decoder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeSpec {
+    inputs: u32,
+    lines: Vec<DecodeLine>,
+}
+
+impl DecodeSpec {
+    /// Creates an empty spec over an `inputs`-bit microcode word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is 0 or exceeds 64.
+    #[must_use]
+    pub fn new(inputs: u32) -> DecodeSpec {
+        assert!(inputs >= 1 && inputs <= 64, "bad input width {inputs}");
+        DecodeSpec {
+            inputs,
+            lines: Vec::new(),
+        }
+    }
+
+    /// Word width in bits.
+    #[must_use]
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// The decode lines.
+    #[must_use]
+    pub fn lines(&self) -> &[DecodeLine] {
+        &self.lines
+    }
+
+    /// Appends a decode line.
+    pub fn add_line(&mut self, name: impl Into<String>, cubes: Vec<Cube>) {
+        self.lines.push(DecodeLine {
+            name: name.into(),
+            cubes,
+        });
+    }
+
+    /// Builds the (unoptimized) PLA personality: every cube becomes a
+    /// product term, duplicated across lines.
+    #[must_use]
+    pub fn to_pla(&self) -> Pla {
+        let mut terms: Vec<Cube> = Vec::new();
+        let mut outputs: Vec<(String, Vec<usize>)> = Vec::new();
+        for line in &self.lines {
+            let mut term_ids = Vec::with_capacity(line.cubes.len());
+            for &cube in &line.cubes {
+                terms.push(cube);
+                term_ids.push(terms.len() - 1);
+            }
+            outputs.push((line.name.clone(), term_ids));
+        }
+        Pla::from_parts(self.inputs, terms, outputs)
+    }
+}
+
+impl fmt::Display for DecodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "text array ({} inputs):", self.inputs)?;
+        for line in &self.lines {
+            write!(f, "  {} =", line.name)?;
+            for (i, c) in line.cubes.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " +")?;
+                }
+                write!(f, " {c}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Converts a control line's decode condition into cubes over the word.
+///
+/// Returns `None` if the referenced field is absent from the format.
+#[must_use]
+pub fn cubes_for_control(mc: &Microcode, line: &ControlLine) -> Option<Vec<Cube>> {
+    let field = mc.field(&line.field)?;
+    let mask = field.mask();
+    let at = |v: u64| Cube {
+        care: mask,
+        value: (v << field.offset) & mask,
+    };
+    Some(match &line.active {
+        ActiveWhen::Equals(v) => vec![at(*v)],
+        ActiveWhen::AnyOf(vs) => vs.iter().map(|&v| at(v)).collect(),
+        ActiveWhen::Bit(b) => {
+            let bit = 1u64 << (field.offset + u32::from(*b));
+            vec![Cube {
+                care: bit,
+                value: bit,
+            }]
+        }
+        ActiveWhen::Always => vec![Cube { care: 0, value: 0 }],
+    })
+}
+
+/// Builds the text array for a set of named control lines against a
+/// microcode format — the interface between Pass 2 and the core's
+/// control bristles.
+///
+/// Lines referencing unknown fields are reported by name in the error.
+///
+/// # Errors
+///
+/// Returns the names of controls whose microcode fields do not exist.
+pub fn decode_spec_from_controls(
+    mc: &Microcode,
+    controls: &[(String, ControlLine)],
+) -> Result<DecodeSpec, Vec<String>> {
+    let width = mc.word_width().max(1);
+    let mut spec = DecodeSpec::new(width);
+    let mut missing = Vec::new();
+    for (name, line) in controls {
+        match cubes_for_control(mc, line) {
+            Some(cubes) => spec.add_line(name.clone(), cubes),
+            None => missing.push(name.clone()),
+        }
+    }
+    if missing.is_empty() {
+        Ok(spec)
+    } else {
+        Err(missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_cell::Phase;
+
+    #[test]
+    fn cube_matching() {
+        let c = Cube {
+            care: 0b1100,
+            value: 0b0100,
+        };
+        assert!(c.matches(0b0100));
+        assert!(c.matches(0b0111)); // low bits don't care
+        assert!(!c.matches(0b1100));
+    }
+
+    #[test]
+    fn cube_cover() {
+        let wide = Cube {
+            care: 0b1000,
+            value: 0b1000,
+        };
+        let narrow = Cube {
+            care: 0b1100,
+            value: 0b1100,
+        };
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        assert!(wide.covers(&wide));
+    }
+
+    #[test]
+    fn cube_merge_adjacent() {
+        let a = Cube {
+            care: 0b11,
+            value: 0b00,
+        };
+        let b = Cube {
+            care: 0b11,
+            value: 0b01,
+        };
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m, Cube { care: 0b10, value: 0b00 });
+        // Two-bit difference: no merge.
+        let c = Cube {
+            care: 0b11,
+            value: 0b11,
+        };
+        assert_eq!(a.merge(&c), None);
+    }
+
+    #[test]
+    fn display_cube() {
+        let c = Cube {
+            care: 0b1101,
+            value: 0b0101,
+        };
+        assert_eq!(c.to_string(), "01-1");
+        assert_eq!(Cube { care: 0, value: 0 }.to_string(), "(always)");
+    }
+
+    #[test]
+    fn control_to_cubes() {
+        let mut mc = Microcode::new();
+        mc.add_field("a", 2).unwrap(); // bits 1:0
+        mc.add_field("b", 3).unwrap(); // bits 4:2
+        let eq = ControlLine {
+            field: "b".into(),
+            active: ActiveWhen::Equals(5),
+            phase: Phase::Phi1,
+        };
+        assert_eq!(
+            cubes_for_control(&mc, &eq).unwrap(),
+            vec![Cube {
+                care: 0b11100,
+                value: 0b10100
+            }]
+        );
+        let bit = ControlLine {
+            field: "b".into(),
+            active: ActiveWhen::Bit(1),
+            phase: Phase::Phi1,
+        };
+        assert_eq!(
+            cubes_for_control(&mc, &bit).unwrap(),
+            vec![Cube {
+                care: 0b01000,
+                value: 0b01000
+            }]
+        );
+        let any = ControlLine {
+            field: "a".into(),
+            active: ActiveWhen::AnyOf(vec![1, 2]),
+            phase: Phase::Phi1,
+        };
+        assert_eq!(cubes_for_control(&mc, &any).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn spec_from_controls_reports_missing() {
+        let mut mc = Microcode::new();
+        mc.add_field("op", 2).unwrap();
+        let good = ControlLine {
+            field: "op".into(),
+            active: ActiveWhen::Equals(1),
+            phase: Phase::Phi1,
+        };
+        let bad = ControlLine {
+            field: "ghost".into(),
+            active: ActiveWhen::Always,
+            phase: Phase::Phi1,
+        };
+        let err = decode_spec_from_controls(
+            &mc,
+            &[("x".into(), good), ("y".into(), bad)],
+        )
+        .unwrap_err();
+        assert_eq!(err, vec!["y".to_string()]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # bristle-route
+//!
+//! Pass 3 of the Bristle Blocks compiler: pad placement and routing.
+//!
+//! *"The pad layout pass … begins by collecting all of the connection
+//! points which need to be connected to pads. These connection points are
+//! sorted in clockwise order, and pads are allocated in the same order.
+//! The pads and connection points are examined by a Roto-Router, which
+//! rotates the pads around the perimeter of the chip in an attempt to
+//! minimize the length of wire between pads and connection points. The
+//! Roto-Router spaces the pads evenly around the chip to avoid generating
+//! pad layouts that would be difficult to bond."* — Johannsen, DAC 1979.
+//!
+//! The crate provides:
+//!
+//! * [`Ring`] — the pad-ring geometry: evenly spaced perimeter slots and
+//!   the routing channel between core and pads,
+//! * [`clockwise_order`] — the paper's clockwise sort,
+//! * [`RotoRouter`] — rotation search plus pairwise-swap refinement over
+//!   the slot assignment, minimizing total wire length,
+//! * [`route_wires`] — physical wires: each net gets its own metal
+//!   *track* (a rectangle loop in the channel) reached by poly *spokes*
+//!   that pass under every other track, so any assignment routes without
+//!   shorts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ring;
+mod roto;
+mod wires;
+
+pub use ring::{PadSlot, Ring};
+pub use roto::{clockwise_order, RotoRouter, RouteAssignment};
+pub use wires::{route_wires, RouteError, RoutedWire};

@@ -1,0 +1,529 @@
+//! Physical pad wires: metal tracks, poly spokes, boundary stubs.
+//!
+//! Every routed net owns one **track** — a rectangle loop in the channel
+//! between core and pad ring — reached by **spokes** that run
+//! perpendicular from the core connection point (outward) and from the
+//! pad (inward). Spokes are poly, tracks are metal, so a spoke passes
+//! under every foreign track without shorting; contact constructs join
+//! the layers at each spoke's own track. This makes *any* pad↔point
+//! assignment routable, which is what lets the Roto-Router optimize
+//! freely.
+
+use std::fmt;
+
+use bristle_cell::{Shape, Side};
+use bristle_geom::{Layer, Path, Point, Rect};
+
+use crate::ring::Ring;
+use crate::roto::RouteAssignment;
+
+/// Errors from wire generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The ring has fewer tracks than there are nets.
+    TooFewTracks {
+        /// Nets to route.
+        nets: usize,
+        /// Tracks available.
+        tracks: usize,
+    },
+    /// Two connection points on the same core edge are closer than the
+    /// 7λ the escape constructs need.
+    PointsTooClose(String, String),
+    /// Pad slots are too dense to keep spokes apart.
+    SlotsTooDense,
+    /// A point does not lie on the core boundary.
+    PointOffCore(String),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::TooFewTracks { nets, tracks } => {
+                write!(f, "{nets} nets but only {tracks} routing tracks")
+            }
+            RouteError::PointsTooClose(a, b) => {
+                write!(f, "connection points `{a}` and `{b}` are closer than 7λ")
+            }
+            RouteError::SlotsTooDense => f.write_str("pad slots closer than 16λ"),
+            RouteError::PointOffCore(n) => {
+                write!(f, "connection point `{n}` is not on the core boundary")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// One routed pad wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedWire {
+    /// Net name (the connection point's qualified bristle name).
+    pub name: String,
+    /// Pad slot index serving this net.
+    pub slot: usize,
+    /// All mask shapes of the wire (poly spokes, metal track arc,
+    /// contact constructs, stubs).
+    pub shapes: Vec<Shape>,
+    /// Center-line length in λ.
+    pub length: i64,
+}
+
+/// Which core side a boundary point sits on (nearest edge).
+fn side_of(core: Rect, p: Point) -> Side {
+    let d = [
+        (core.y1 - p.y).abs(), // North
+        (core.x1 - p.x).abs(), // East
+        (p.y - core.y0).abs(), // South
+        (p.x - core.x0).abs(), // West
+    ];
+    let mut best = 0;
+    for (i, &v) in d.iter().enumerate() {
+        if v < d[best] {
+            best = i;
+        }
+    }
+    [Side::North, Side::East, Side::South, Side::West][best]
+}
+
+/// A via construct: 4×4 metal pad, 2×2 cut, 4×4 poly pad, centered.
+fn via(at: Point, label: &str) -> Vec<Shape> {
+    vec![
+        Shape::rect(Layer::Metal, Rect::centered(at, 4, 4)).with_label(label),
+        Shape::rect(Layer::Contact, Rect::centered(at, 2, 2)),
+        Shape::rect(Layer::Poly, Rect::centered(at, 4, 4)).with_label(label),
+    ]
+}
+
+/// Perimeter parameter of a point on a rectangle's boundary (clockwise
+/// from the NW corner; the point is clamped to the boundary first).
+fn param_on_rect(r: Rect, p: Point) -> i64 {
+    let (w, h) = (r.width(), r.height());
+    let x = p.x.clamp(r.x0, r.x1);
+    let y = p.y.clamp(r.y0, r.y1);
+    let d_n = (r.y1 - y).abs();
+    let d_e = (r.x1 - x).abs();
+    let d_s = (y - r.y0).abs();
+    let d_w = (x - r.x0).abs();
+    let min = d_n.min(d_e).min(d_s).min(d_w);
+    if min == d_n {
+        x - r.x0
+    } else if min == d_e {
+        w + (r.y1 - y)
+    } else if min == d_s {
+        w + h + (r.x1 - x)
+    } else {
+        2 * w + h + (y - r.y0)
+    }
+}
+
+/// Point at a perimeter parameter of a rectangle.
+fn point_at_param(r: Rect, s: i64) -> Point {
+    let (w, h) = (r.width(), r.height());
+    let l = 2 * (w + h);
+    let s = s.rem_euclid(l);
+    if s < w {
+        Point::new(r.x0 + s, r.y1)
+    } else if s < w + h {
+        Point::new(r.x1, r.y1 - (s - w))
+    } else if s < 2 * w + h {
+        Point::new(r.x1 - (s - w - h), r.y0)
+    } else {
+        Point::new(r.x0, r.y0 + (s - 2 * w - h))
+    }
+}
+
+/// Polyline along a rectangle boundary from parameter `s0` to `s1`,
+/// walking the shorter way, corners included.
+fn rect_walk(r: Rect, s0: i64, s1: i64) -> Vec<Point> {
+    let (w, h) = (r.width(), r.height());
+    let l = 2 * (w + h);
+    let (a, b) = (s0.rem_euclid(l), s1.rem_euclid(l));
+    let cw = (b - a).rem_euclid(l);
+    let ccw = l - cw;
+    let corners_cw = [w, w + h, 2 * w + h, 0]; // params of NE, SE, SW, NW
+    let mut pts = vec![point_at_param(r, a)];
+    if cw <= ccw {
+        // Walk clockwise from a to b, inserting corners passed.
+        let mut s = a;
+        while s != b {
+            // Next corner strictly ahead (clockwise).
+            let next_corner = corners_cw
+                .iter()
+                .map(|&c| ((c - s).rem_euclid(l), c))
+                .filter(|&(d, _)| d > 0)
+                .min()
+                .map(|(d, c)| (d, c))
+                .unwrap();
+            let dist_to_b = (b - s).rem_euclid(l);
+            if next_corner.0 < dist_to_b {
+                s = next_corner.1;
+                pts.push(point_at_param(r, s));
+            } else {
+                s = b;
+                pts.push(point_at_param(r, s));
+            }
+        }
+    } else {
+        // Walk counter-clockwise.
+        let mut s = a;
+        while s != b {
+            let next_corner = corners_cw
+                .iter()
+                .map(|&c| ((s - c).rem_euclid(l), c))
+                .filter(|&(d, _)| d > 0)
+                .min()
+                .unwrap();
+            let dist_to_b = (s - b).rem_euclid(l);
+            if next_corner.0 < dist_to_b {
+                s = next_corner.1;
+                pts.push(point_at_param(r, s));
+            } else {
+                s = b;
+                pts.push(point_at_param(r, s));
+            }
+        }
+    }
+    // Drop consecutive duplicates (corner == endpoint).
+    pts.dedup();
+    pts
+}
+
+/// Generates the physical wires realizing `assignment`.
+///
+/// `points` are `(net name, position, layer)` triples; positions must lie
+/// on (or very near) the `core` boundary. The ring must have at least one
+/// track per net.
+///
+/// # Errors
+///
+/// See [`RouteError`].
+pub fn route_wires(
+    ring: &Ring,
+    core: Rect,
+    points: &[(String, Point, Layer)],
+    assignment: &RouteAssignment,
+) -> Result<Vec<RoutedWire>, RouteError> {
+    let n = points.len();
+    if ring.tracks < n {
+        return Err(RouteError::TooFewTracks {
+            nets: n,
+            tracks: ring.tracks,
+        });
+    }
+    // Same-side points must be ≥ 7λ apart for the via constructs.
+    for i in 0..n {
+        for j in i + 1..n {
+            let (pi, pj) = (points[i].1, points[j].1);
+            if side_of(core, pi) == side_of(core, pj) {
+                let d = match side_of(core, pi) {
+                    Side::North | Side::South => (pi.x - pj.x).abs(),
+                    Side::East | Side::West => (pi.y - pj.y).abs(),
+                };
+                if d < 7 {
+                    return Err(RouteError::PointsTooClose(
+                        points[i].0.clone(),
+                        points[j].0.clone(),
+                    ));
+                }
+            }
+        }
+    }
+    let slots = ring.slots(n, 0);
+    if n > 1 && ring.perimeter() / n as i64 - 0 < 16 {
+        return Err(RouteError::SlotsTooDense);
+    }
+
+    // Spoke coordinates already claimed, per side, with their radial
+    // track span (for conflict checks): (side, coord, lo_track, hi_track).
+    let mut claimed: Vec<(Side, i64, usize, usize)> = Vec::new();
+    let coord_of = |side: Side, p: Point| match side {
+        Side::North | Side::South => p.x,
+        Side::East | Side::West => p.y,
+    };
+    for (i, (_, p, _)) in points.iter().enumerate() {
+        let side = side_of(core, *p);
+        let track = assignment.slot_of[i];
+        claimed.push((side, coord_of(side, *p), 0, track));
+    }
+
+    let mut wires = Vec::with_capacity(n);
+    for (i, (name, p, layer)) in points.iter().enumerate() {
+        let slot = assignment.slot_of[i];
+        let track = slot; // one private track per net
+        let track_rect = ring.track_rect(track);
+        let side_p = side_of(core, *p);
+        let mut shapes: Vec<Shape> = Vec::new();
+        let mut length = 0i64;
+
+        // --- Point spoke: perpendicular from the core edge out to the
+        //     net's track.
+        let (spoke_end_p, spoke_len_p) = match side_p {
+            Side::North => (Point::new(p.x, track_rect.y1), (track_rect.y1 - p.y).abs()),
+            Side::East => (Point::new(track_rect.x1, p.y), (track_rect.x1 - p.x).abs()),
+            Side::South => (Point::new(p.x, track_rect.y0), (p.y - track_rect.y0).abs()),
+            Side::West => (Point::new(track_rect.x0, p.y), (p.x - track_rect.x0).abs()),
+        };
+        if *layer == Layer::Metal {
+            shapes.extend(via(*p, name));
+        }
+        if spoke_len_p > 0 {
+            shapes.push(Shape::wire(
+                Layer::Poly,
+                Path::new(vec![*p, spoke_end_p], 2).expect("point spoke"),
+            ));
+        }
+        length += spoke_len_p;
+        shapes.extend(via(spoke_end_p, name));
+
+        // --- Pad spoke: from the pad slot inward to the track, with a
+        //     boundary stub if the coordinate must shift to clear other
+        //     spokes or a track corner.
+        let pad = &slots[slot];
+        let side_s = pad.side;
+        let mut coord = coord_of(side_s, pad.pos);
+        // Keep inside the track rectangle's straight segment.
+        let (seg_lo, seg_hi) = match side_s {
+            Side::North | Side::South => (track_rect.x0 + 4, track_rect.x1 - 4),
+            Side::East | Side::West => (track_rect.y0 + 4, track_rect.y1 - 4),
+        };
+        coord = coord.clamp(seg_lo, seg_hi);
+        // Shift until ≥ 4λ from every claimed spoke whose track span
+        // overlaps ours ([track..tracks]).
+        let conflict = |c: i64, claimed: &[(Side, i64, usize, usize)]| {
+            claimed.iter().any(|&(s, cc, lo, hi)| {
+                s == side_s && (cc - c).abs() < 4 && lo <= ring.tracks && track <= hi.max(lo)
+                    // our span is [track, tracks-1]; theirs [lo, hi]
+                    && hi >= track
+            })
+        };
+        let mut guard = 0;
+        while conflict(coord, &claimed) && guard < 64 {
+            coord += 4;
+            if coord > seg_hi {
+                coord = seg_lo + (coord - seg_hi);
+            }
+            guard += 1;
+        }
+        claimed.push((side_s, coord, track, ring.tracks));
+
+        let (stub_from, spoke_start, spoke_end_s) = match side_s {
+            Side::North => (
+                pad.pos,
+                Point::new(coord, ring.rect.y1),
+                Point::new(coord, track_rect.y1),
+            ),
+            Side::East => (
+                pad.pos,
+                Point::new(ring.rect.x1, coord),
+                Point::new(track_rect.x1, coord),
+            ),
+            Side::South => (
+                pad.pos,
+                Point::new(coord, ring.rect.y0),
+                Point::new(coord, track_rect.y0),
+            ),
+            Side::West => (
+                pad.pos,
+                Point::new(ring.rect.x0, coord),
+                Point::new(track_rect.x0, coord),
+            ),
+        };
+        if stub_from != spoke_start {
+            shapes.push(Shape::wire(
+                Layer::Metal,
+                Path::new(vec![stub_from, spoke_start], 4).expect("pad stub"),
+            ));
+            length += stub_from.manhattan(spoke_start);
+        }
+        shapes.extend(via(spoke_start, name));
+        let spoke_len_s = spoke_start.manhattan(spoke_end_s);
+        if spoke_len_s > 0 {
+            shapes.push(Shape::wire(
+                Layer::Poly,
+                Path::new(vec![spoke_start, spoke_end_s], 2).expect("pad spoke"),
+            ));
+        }
+        length += spoke_len_s;
+        shapes.extend(via(spoke_end_s, name));
+
+        // --- Track arc between the two spoke landings.
+        let s0 = param_on_rect(track_rect, spoke_end_p);
+        let s1 = param_on_rect(track_rect, spoke_end_s);
+        if s0 != s1 {
+            let pts = rect_walk(track_rect, s0, s1);
+            if pts.len() >= 2 {
+                let arc = Path::new(pts, 4).expect("track arc");
+                length += arc.length();
+                shapes.push(Shape::wire(Layer::Metal, arc).with_label(name.clone()));
+            }
+        }
+
+        wires.push(RoutedWire {
+            name: name.clone(),
+            slot,
+            shapes,
+            length,
+        });
+    }
+    Ok(wires)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::roto::RotoRouter;
+
+    fn setup(pts: &[(i64, i64)]) -> (Ring, Rect, Vec<(String, Point, Layer)>) {
+        let core = Rect::new(0, 0, 200, 120);
+        let ring = Ring::around(core, pts.len());
+        let points: Vec<(String, Point, Layer)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (format!("p{i}"), Point::new(x, y), Layer::Metal))
+            .collect();
+        (ring, core, points)
+    }
+
+    #[test]
+    fn routes_simple_set() {
+        let (ring, core, points) = setup(&[(50, 120), (150, 120), (200, 60), (100, 0)]);
+        let raw: Vec<Point> = points.iter().map(|p| p.1).collect();
+        let assignment = RotoRouter::new().assign(&ring, &raw);
+        let wires = route_wires(&ring, core, &points, &assignment).unwrap();
+        assert_eq!(wires.len(), 4);
+        for w in &wires {
+            assert!(w.length > 0);
+            assert!(!w.shapes.is_empty());
+            // Every wire has at least two via constructs (6 shapes).
+            let contacts = w
+                .shapes
+                .iter()
+                .filter(|s| s.layer == Layer::Contact)
+                .count();
+            assert!(contacts >= 2, "wire {} has {contacts} contacts", w.name);
+        }
+        // All slots distinct.
+        let mut slots: Vec<usize> = wires.iter().map(|w| w.slot).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn wire_shapes_stay_inside_ring() {
+        let (ring, core, points) = setup(&[(50, 120), (150, 120), (100, 0)]);
+        let raw: Vec<Point> = points.iter().map(|p| p.1).collect();
+        let assignment = RotoRouter::new().assign(&ring, &raw);
+        let wires = route_wires(&ring, core, &points, &assignment).unwrap();
+        let outer = ring.rect.inflate(3);
+        for w in &wires {
+            for s in &w.shapes {
+                assert!(
+                    outer.contains_rect(&s.bbox()),
+                    "{}: {s} outside ring",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn too_few_tracks_rejected() {
+        let core = Rect::new(0, 0, 100, 100);
+        let ring = Ring::around(core, 1);
+        let points = vec![
+            ("a".to_string(), Point::new(20, 100), Layer::Metal),
+            ("b".to_string(), Point::new(80, 100), Layer::Metal),
+        ];
+        let raw: Vec<Point> = points.iter().map(|p| p.1).collect();
+        let assignment = RotoRouter::new().assign(&ring, &raw);
+        assert!(matches!(
+            route_wires(&ring, core, &points, &assignment),
+            Err(RouteError::TooFewTracks { nets: 2, tracks: 1 })
+        ));
+    }
+
+    #[test]
+    fn close_points_rejected() {
+        let core = Rect::new(0, 0, 100, 100);
+        let ring = Ring::around(core, 2);
+        let points = vec![
+            ("a".to_string(), Point::new(50, 100), Layer::Metal),
+            ("b".to_string(), Point::new(53, 100), Layer::Metal),
+        ];
+        let raw: Vec<Point> = points.iter().map(|p| p.1).collect();
+        let assignment = RotoRouter::new().assign(&ring, &raw);
+        assert!(matches!(
+            route_wires(&ring, core, &points, &assignment),
+            Err(RouteError::PointsTooClose(_, _))
+        ));
+    }
+
+    #[test]
+    fn rect_walk_shorter_way() {
+        let r = Rect::new(0, 0, 10, 10);
+        // From mid-north to mid-east: clockwise through NE corner.
+        let s0 = param_on_rect(r, Point::new(5, 10));
+        let s1 = param_on_rect(r, Point::new(10, 5));
+        let pts = rect_walk(r, s0, s1);
+        assert_eq!(
+            pts,
+            vec![Point::new(5, 10), Point::new(10, 10), Point::new(10, 5)]
+        );
+        // Reverse walk goes counter-clockwise through the same corner.
+        let rev = rect_walk(r, s1, s0);
+        assert_eq!(
+            rev,
+            vec![Point::new(10, 5), Point::new(10, 10), Point::new(5, 10)]
+        );
+    }
+
+    #[test]
+    fn param_point_round_trip() {
+        let r = Rect::new(-5, -5, 20, 15);
+        let l = 2 * (r.width() + r.height());
+        for s in (0..l).step_by(7) {
+            let p = point_at_param(r, s);
+            assert_eq!(param_on_rect(r, p), s, "s={s}");
+        }
+    }
+
+    #[test]
+    fn poly_spokes_clear_each_other() {
+        // Many points and pads; verify no two poly shapes from different
+        // wires are closer than 2λ (the poly spacing rule).
+        let (ring, core, points) = setup(&[
+            (20, 120),
+            (60, 120),
+            (100, 120),
+            (140, 120),
+            (180, 120),
+            (200, 90),
+            (200, 30),
+            (140, 0),
+            (60, 0),
+            (0, 60),
+        ]);
+        let raw: Vec<Point> = points.iter().map(|p| p.1).collect();
+        let assignment = RotoRouter::new().assign(&ring, &raw);
+        let wires = route_wires(&ring, core, &points, &assignment).unwrap();
+        for (i, a) in wires.iter().enumerate() {
+            for b in wires.iter().skip(i + 1) {
+                for sa in a.shapes.iter().filter(|s| s.layer == Layer::Poly) {
+                    for sb in b.shapes.iter().filter(|s| s.layer == Layer::Poly) {
+                        for ra in sa.to_rects() {
+                            for rb in sb.to_rects() {
+                                assert!(
+                                    ra.spacing(&rb) >= 2,
+                                    "{} and {} poly too close: {ra} vs {rb}",
+                                    a.name,
+                                    b.name
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,567 @@
+//! The functional microcode-level chip simulator.
+//!
+//! *"The Simulation level can be used to logically simulate the chip, so
+//! that software can be written for the chip to explore the feasibility
+//! of the design."* — Johannsen, DAC 1979.
+//!
+//! The temporal model follows the paper exactly: a two-phase
+//! non-overlapping clock where φ1 transfers data over the two precharged
+//! buses (wired-AND: the bus starts at all-ones and drivers pull bits
+//! low) and φ2 runs the data-processing elements while the buses
+//! precharge for the next transfer.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use bristle_cell::{ControlLine, Phase};
+
+use crate::microcode::{Microcode, MicrocodeError};
+
+/// Per-element view of one clock phase.
+pub struct ElementCtx<'a> {
+    /// Data word width in bits.
+    pub width: u32,
+    /// `(1 << width) - 1`.
+    pub mask: u64,
+    controls: &'a BTreeMap<String, bool>,
+    pads_in: &'a HashMap<String, u64>,
+    pads_out: &'a mut HashMap<String, u64>,
+}
+
+impl ElementCtx<'_> {
+    /// Is the named (element-local) control line asserted this phase?
+    #[must_use]
+    pub fn control(&self, name: &str) -> bool {
+        self.controls.get(name).copied().unwrap_or(false)
+    }
+
+    /// Reads an input pad (0 if never set).
+    #[must_use]
+    pub fn pad_in(&self, pad: &str) -> u64 {
+        self.pads_in.get(pad).copied().unwrap_or(0)
+    }
+
+    /// Drives an output pad.
+    pub fn set_pad_out(&mut self, pad: &str, value: u64) {
+        self.pads_out.insert(pad.to_owned(), value & self.mask);
+    }
+}
+
+impl fmt::Debug for ElementCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ElementCtx")
+            .field("width", &self.width)
+            .field("controls", self.controls)
+            .finish()
+    }
+}
+
+/// A datapath element behavior: the SIMULATION representation of one
+/// core element.
+pub trait Behavior {
+    /// Instance name (unique within the machine).
+    fn name(&self) -> &str;
+
+    /// φ1, drive step: values this element wants to put on
+    /// `[bus A, bus B]`. `None` leaves the bus precharged. Buses combine
+    /// drivers by wired-AND.
+    fn phi1_drive(&mut self, ctx: &ElementCtx<'_>) -> [Option<u64>; 2] {
+        let _ = ctx;
+        [None, None]
+    }
+
+    /// φ1, sample step: observe the settled buses.
+    fn phi1_sample(&mut self, ctx: &mut ElementCtx<'_>, buses: [u64; 2]) {
+        let _ = (ctx, buses);
+    }
+
+    /// φ2: operate (compute, push/pop, write memory, transfer pads…).
+    fn phi2(&mut self, ctx: &mut ElementCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Observable state as `(key, value)` pairs, for tracing and tests.
+    fn state(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    /// Overwrites a piece of state (test setup). Returns `false` if the
+    /// key does not exist.
+    fn poke(&mut self, key: &str, value: u64) -> bool {
+        let _ = (key, value);
+        false
+    }
+}
+
+/// Errors from the functional simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No element with this name.
+    UnknownElement(String),
+    /// The element has no such state key.
+    UnknownState {
+        /// Element name.
+        element: String,
+        /// Requested key.
+        key: String,
+    },
+    /// A control line references a microcode field that does not exist.
+    UnknownControlField {
+        /// Element name.
+        element: String,
+        /// Control line name.
+        control: String,
+        /// Missing field.
+        field: String,
+    },
+    /// Duplicate element name.
+    DuplicateElement(String),
+    /// Microcode encode/extract failure.
+    Microcode(MicrocodeError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownElement(n) => write!(f, "no element named `{n}`"),
+            SimError::UnknownState { element, key } => {
+                write!(f, "element `{element}` has no state `{key}`")
+            }
+            SimError::UnknownControlField {
+                element,
+                control,
+                field,
+            } => write!(
+                f,
+                "element `{element}` control `{control}` uses unknown microcode field `{field}`"
+            ),
+            SimError::DuplicateElement(n) => write!(f, "duplicate element name `{n}`"),
+            SimError::Microcode(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Microcode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MicrocodeError> for SimError {
+    fn from(e: MicrocodeError) -> SimError {
+        SimError::Microcode(e)
+    }
+}
+
+/// One line of execution trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Cycle number (0-based).
+    pub cycle: u64,
+    /// The microcode word executed.
+    pub word: u64,
+    /// Settled `[bus A, bus B]` values during φ1.
+    pub buses: [u64; 2],
+}
+
+/// The functional chip simulator.
+pub struct Machine {
+    width: u32,
+    mask: u64,
+    microcode: Microcode,
+    elements: Vec<(Box<dyn Behavior>, Vec<(String, ControlLine)>)>,
+    pads_in: HashMap<String, u64>,
+    pads_out: HashMap<String, u64>,
+    cycle: u64,
+    trace: Vec<TraceEntry>,
+    trace_enabled: bool,
+}
+
+impl Machine {
+    /// Creates a machine with the given data width and microcode format.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    #[must_use]
+    pub fn new(width: u32, microcode: Microcode) -> Machine {
+        assert!(width >= 1 && width <= 64, "bad data width {width}");
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        Machine {
+            width,
+            mask,
+            microcode,
+            elements: Vec::new(),
+            pads_in: HashMap::new(),
+            pads_out: HashMap::new(),
+            cycle: 0,
+            trace: Vec::new(),
+            trace_enabled: false,
+        }
+    }
+
+    /// The microcode format.
+    #[must_use]
+    pub fn microcode(&self) -> &Microcode {
+        &self.microcode
+    }
+
+    /// Data width in bits.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Cycles executed so far.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Enables or disables trace recording.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+    }
+
+    /// The recorded trace.
+    #[must_use]
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Adds an element with its control bindings: `(local control name,
+    /// decode spec)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate element names and control lines whose fields are
+    /// not in the microcode format.
+    pub fn add_element(
+        &mut self,
+        behavior: Box<dyn Behavior>,
+        controls: &[(&str, ControlLine)],
+    ) -> Result<(), SimError> {
+        if self
+            .elements
+            .iter()
+            .any(|(b, _)| b.name() == behavior.name())
+        {
+            return Err(SimError::DuplicateElement(behavior.name().to_owned()));
+        }
+        for (name, line) in controls {
+            if self.microcode.field(&line.field).is_none() {
+                return Err(SimError::UnknownControlField {
+                    element: behavior.name().to_owned(),
+                    control: (*name).to_owned(),
+                    field: line.field.clone(),
+                });
+            }
+        }
+        let controls = controls
+            .iter()
+            .map(|(n, l)| ((*n).to_owned(), l.clone()))
+            .collect();
+        self.elements.push((behavior, controls));
+        Ok(())
+    }
+
+    /// Sets an input pad value.
+    pub fn set_pad(&mut self, pad: impl Into<String>, value: u64) {
+        self.pads_in.insert(pad.into(), value & self.mask);
+    }
+
+    /// Reads an output pad, if any element has driven it.
+    #[must_use]
+    pub fn pad(&self, pad: &str) -> Option<u64> {
+        self.pads_out.get(pad).copied()
+    }
+
+    /// Reads element state.
+    ///
+    /// # Errors
+    ///
+    /// Unknown element or key.
+    pub fn peek(&self, element: &str, key: &str) -> Result<u64, SimError> {
+        let (b, _) = self
+            .elements
+            .iter()
+            .find(|(b, _)| b.name() == element)
+            .ok_or_else(|| SimError::UnknownElement(element.to_owned()))?;
+        b.state()
+            .into_iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| SimError::UnknownState {
+                element: element.to_owned(),
+                key: key.to_owned(),
+            })
+    }
+
+    /// Writes element state (test setup).
+    ///
+    /// # Errors
+    ///
+    /// Unknown element or key.
+    pub fn poke(&mut self, element: &str, key: &str, value: u64) -> Result<(), SimError> {
+        let (b, _) = self
+            .elements
+            .iter_mut()
+            .find(|(b, _)| b.name() == element)
+            .ok_or_else(|| SimError::UnknownElement(element.to_owned()))?;
+        if b.poke(key, value) {
+            Ok(())
+        } else {
+            Err(SimError::UnknownState {
+                element: element.to_owned(),
+                key: key.to_owned(),
+            })
+        }
+    }
+
+    /// Decodes the asserted control set of one phase.
+    fn decode(
+        &self,
+        word: u64,
+        phase: Phase,
+        controls: &[(String, ControlLine)],
+    ) -> Result<BTreeMap<String, bool>, SimError> {
+        let mut map = BTreeMap::new();
+        for (name, line) in controls {
+            if line.phase != phase {
+                continue;
+            }
+            let value = self.microcode.extract(word, &line.field)?;
+            map.insert(name.clone(), line.active.eval(value));
+        }
+        Ok(map)
+    }
+
+    /// Executes one full clock cycle with the given microcode word.
+    /// Returns the settled `[bus A, bus B]` φ1 values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates microcode decode failures.
+    pub fn step_word(&mut self, word: u64) -> Result<[u64; 2], SimError> {
+        // φ1: buses precharged high; element drives wired-AND in.
+        let mut buses = [self.mask, self.mask];
+        // Decode per element, both phases, before mutating.
+        let mut phi1_maps = Vec::with_capacity(self.elements.len());
+        let mut phi2_maps = Vec::with_capacity(self.elements.len());
+        for (_, controls) in &self.elements {
+            phi1_maps.push(self.decode(word, Phase::Phi1, controls)?);
+            phi2_maps.push(self.decode(word, Phase::Phi2, controls)?);
+        }
+        let width = self.width;
+        let mask = self.mask;
+        for (i, (behavior, _)) in self.elements.iter_mut().enumerate() {
+            let ctx = ElementCtx {
+                width,
+                mask,
+                controls: &phi1_maps[i],
+                pads_in: &self.pads_in,
+                pads_out: &mut self.pads_out,
+            };
+            let drives = behavior.phi1_drive(&ctx);
+            for (bus, drive) in buses.iter_mut().zip(drives) {
+                if let Some(v) = drive {
+                    *bus &= v & mask;
+                }
+            }
+        }
+        for (i, (behavior, _)) in self.elements.iter_mut().enumerate() {
+            let mut ctx = ElementCtx {
+                width,
+                mask,
+                controls: &phi1_maps[i],
+                pads_in: &self.pads_in,
+                pads_out: &mut self.pads_out,
+            };
+            behavior.phi1_sample(&mut ctx, buses);
+        }
+        // φ2: elements operate; buses precharge (implicitly, next cycle).
+        for (i, (behavior, _)) in self.elements.iter_mut().enumerate() {
+            let mut ctx = ElementCtx {
+                width,
+                mask,
+                controls: &phi2_maps[i],
+                pads_in: &self.pads_in,
+                pads_out: &mut self.pads_out,
+            };
+            behavior.phi2(&mut ctx);
+        }
+        if self.trace_enabled {
+            self.trace.push(TraceEntry {
+                cycle: self.cycle,
+                word,
+                buses,
+            });
+        }
+        self.cycle += 1;
+        Ok(buses)
+    }
+
+    /// Runs a linear microcode program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step failure.
+    pub fn run(&mut self, program: &[u64]) -> Result<(), SimError> {
+        for &word in program {
+            self.step_word(word)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("width", &self.width)
+            .field("elements", &self.elements.len())
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behaviors;
+    use bristle_cell::ActiveWhen;
+
+    fn ctl(field: &str, active: ActiveWhen, phase: Phase) -> ControlLine {
+        ControlLine {
+            field: field.to_owned(),
+            active,
+            phase,
+        }
+    }
+
+    fn simple_machine() -> Machine {
+        let mut mc = Microcode::new();
+        mc.add_field("rd", 2).unwrap();
+        mc.add_field("ld", 2).unwrap();
+        let mut m = Machine::new(8, mc);
+        m.add_element(
+            behaviors::register_file("regs", 2),
+            &[
+                ("rda0", ctl("rd", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("rda1", ctl("rd", ActiveWhen::Equals(2), Phase::Phi1)),
+                ("ld0", ctl("ld", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("ld1", ctl("ld", ActiveWhen::Equals(2), Phase::Phi1)),
+            ],
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn register_to_register_transfer() {
+        let mut m = simple_machine();
+        m.poke("regs", "r0", 0x5A).unwrap();
+        let word = m.microcode().encode(&[("rd", 1), ("ld", 2)]).unwrap();
+        let buses = m.step_word(word).unwrap();
+        assert_eq!(buses[0], 0x5A);
+        assert_eq!(m.peek("regs", "r1").unwrap(), 0x5A);
+        assert_eq!(m.cycle(), 1);
+    }
+
+    #[test]
+    fn undriven_bus_reads_precharged_ones() {
+        let mut m = simple_machine();
+        let word = m.microcode().encode(&[("ld", 1)]).unwrap(); // nobody drives
+        let buses = m.step_word(word).unwrap();
+        assert_eq!(buses[0], 0xFF);
+        assert_eq!(m.peek("regs", "r0").unwrap(), 0xFF);
+    }
+
+    #[test]
+    fn wired_and_of_two_drivers() {
+        let mut m = simple_machine();
+        m.poke("regs", "r0", 0x0F).unwrap();
+        m.poke("regs", "r1", 0x3C).unwrap();
+        // Assert both read lines by driving rd=1 and rd=2… impossible with
+        // one field value; craft a machine-level test with AnyOf instead.
+        let mut mc = Microcode::new();
+        mc.add_field("rd", 2).unwrap();
+        let mut m2 = Machine::new(8, mc);
+        m2.add_element(
+            behaviors::register_file("regs", 2),
+            &[
+                ("rda0", ctl("rd", ActiveWhen::AnyOf(vec![1, 3]), Phase::Phi1)),
+                ("rda1", ctl("rd", ActiveWhen::AnyOf(vec![2, 3]), Phase::Phi1)),
+            ],
+        )
+        .unwrap();
+        m2.poke("regs", "r0", 0x0F).unwrap();
+        m2.poke("regs", "r1", 0x3C).unwrap();
+        let word = m2.microcode().encode(&[("rd", 3)]).unwrap();
+        let buses = m2.step_word(word).unwrap();
+        assert_eq!(buses[0], 0x0F & 0x3C, "buses are wired-AND");
+    }
+
+    #[test]
+    fn errors_reported() {
+        let mut m = simple_machine();
+        assert!(matches!(
+            m.peek("ghost", "r0"),
+            Err(SimError::UnknownElement(_))
+        ));
+        assert!(matches!(
+            m.peek("regs", "r9"),
+            Err(SimError::UnknownState { .. })
+        ));
+        assert!(matches!(
+            m.add_element(behaviors::register_file("regs", 1), &[]),
+            Err(SimError::DuplicateElement(_))
+        ));
+        assert!(matches!(
+            m.add_element(
+                behaviors::register_file("regs2", 1),
+                &[("x", ctl("nofield", ActiveWhen::Always, Phase::Phi1))]
+            ),
+            Err(SimError::UnknownControlField { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_records_cycles() {
+        let mut m = simple_machine();
+        m.set_trace(true);
+        m.poke("regs", "r0", 7).unwrap();
+        let w = m.microcode().encode(&[("rd", 1)]).unwrap();
+        m.run(&[w, w]).unwrap();
+        assert_eq!(m.trace().len(), 2);
+        assert_eq!(m.trace()[1].cycle, 1);
+        assert_eq!(m.trace()[0].buses[0], 7);
+    }
+
+    #[test]
+    fn pads_flow_through_ports() {
+        let mut mc = Microcode::new();
+        mc.add_field("io", 2).unwrap();
+        let mut m = Machine::new(8, mc);
+        m.add_element(
+            behaviors::input_port("pin", "DATA_IN"),
+            &[("drv", ctl("io", ActiveWhen::Equals(1), Phase::Phi1))],
+        )
+        .unwrap();
+        m.add_element(
+            behaviors::output_port("pout", "DATA_OUT"),
+            &[("ld", ctl("io", ActiveWhen::Equals(1), Phase::Phi1))],
+        )
+        .unwrap();
+        m.set_pad("DATA_IN", 0x42);
+        let w = m.microcode().encode(&[("io", 1)]).unwrap();
+        m.step_word(w).unwrap();
+        assert_eq!(m.pad("DATA_OUT"), Some(0x42));
+    }
+}

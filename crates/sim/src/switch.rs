@@ -1,0 +1,460 @@
+//! Switch-level simulation of extracted nMOS netlists.
+//!
+//! The model follows the spirit of Bryant's MOSSIM (contemporary with
+//! Bristle Blocks): ternary node levels, a three-tier strength lattice
+//! (strong drive > weak/ratioed drive > stored charge), transistors as
+//! bidirectional switches, depletion loads as always-on weak pull-ups,
+//! and the nMOS threshold drop (a logic 1 degrades to weak through an
+//! enhancement pass transistor — which is exactly why the paper's buses
+//! are precharged on φ2 and only pulled low on φ1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bristle_extract::{NetId, Netlist, TransistorKind};
+
+/// A ternary logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// Logic low.
+    L0,
+    /// Logic high.
+    L1,
+    /// Unknown / conflict.
+    X,
+}
+
+impl Level {
+    /// Merges two contributions of equal strength.
+    #[must_use]
+    pub fn merge(self, other: Level) -> Level {
+        if self == other {
+            self
+        } else {
+            Level::X
+        }
+    }
+
+    /// From a boolean.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Level {
+        if b {
+            Level::L1
+        } else {
+            Level::L0
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Level::L0 => f.write_str("0"),
+            Level::L1 => f.write_str("1"),
+            Level::X => f.write_str("X"),
+        }
+    }
+}
+
+/// Drive strength, ordered: stored charge < weak (ratioed/degraded) <
+/// strong (rail or input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Strength {
+    /// Dynamic charge retained on an undriven node.
+    Charged,
+    /// Ratioed pull-up or threshold-degraded drive.
+    Weak,
+    /// Rail or primary-input drive.
+    Strong,
+}
+
+impl fmt::Display for Strength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strength::Charged => f.write_str("charged"),
+            Strength::Weak => f.write_str("weak"),
+            Strength::Strong => f.write_str("strong"),
+        }
+    }
+}
+
+/// Errors from switch-level simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwitchError {
+    /// The netlist lacks a net with this name.
+    UnknownNet(String),
+    /// The relaxation did not settle (combinational loop fighting at
+    /// equal strength).
+    Unsettled {
+        /// Iterations executed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::UnknownNet(n) => write!(f, "no net named `{n}`"),
+            SwitchError::Unsettled { iterations } => {
+                write!(f, "simulation did not settle after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+/// A switch-level simulator bound to an extracted netlist.
+pub struct SwitchSim<'a> {
+    netlist: &'a Netlist,
+    vdd: Vec<NetId>,
+    gnd: Vec<NetId>,
+    inputs: HashMap<NetId, Level>,
+    /// Retained level per net (charge memory between settles).
+    memory: Vec<Level>,
+    /// Resolved (strength, level) of the last settle.
+    state: Vec<(Strength, Level)>,
+}
+
+impl<'a> SwitchSim<'a> {
+    /// Creates a simulator. Every net named `VDD` / `GND` becomes a
+    /// permanent strong rail (large cells may have several physically
+    /// separate rail regions that the chip assembly ties together).
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> SwitchSim<'a> {
+        let n = netlist.net_count();
+        let rails = |name: &str| -> Vec<NetId> {
+            netlist
+                .net_names
+                .iter()
+                .enumerate()
+                .filter(|(_, nm)| nm.as_str() == name)
+                .map(|(i, _)| NetId(i as u32))
+                .collect()
+        };
+        SwitchSim {
+            netlist,
+            vdd: rails("VDD"),
+            gnd: rails("GND"),
+            inputs: HashMap::new(),
+            memory: vec![Level::X; n],
+            state: vec![(Strength::Charged, Level::X); n],
+        }
+    }
+
+    fn net(&self, name: &str) -> Result<NetId, SwitchError> {
+        self.netlist
+            .find_net(name)
+            .ok_or_else(|| SwitchError::UnknownNet(name.to_owned()))
+    }
+
+    /// Forces a net to a level (a primary input).
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::UnknownNet`] if no net has this name.
+    pub fn set_input(&mut self, name: &str, level: Level) -> Result<(), SwitchError> {
+        let id = self.net(name)?;
+        self.inputs.insert(id, level);
+        Ok(())
+    }
+
+    /// Stops forcing a net; it keeps its charge until redriven.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::UnknownNet`] if no net has this name.
+    pub fn release_input(&mut self, name: &str) -> Result<(), SwitchError> {
+        let id = self.net(name)?;
+        self.inputs.remove(&id);
+        Ok(())
+    }
+
+    /// The level of a net after the last [`SwitchSim::settle`].
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::UnknownNet`] if no net has this name.
+    pub fn level(&self, name: &str) -> Result<Level, SwitchError> {
+        let id = self.net(name)?;
+        Ok(self.state[id.0 as usize].1)
+    }
+
+    /// Relaxes the network to a fixpoint and stores charge memory.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::Unsettled`] if the network oscillates.
+    pub fn settle(&mut self) -> Result<(), SwitchError> {
+        let n = self.netlist.net_count();
+        // Base drives.
+        let mut state: Vec<(Strength, Level)> = (0..n)
+            .map(|i| (Strength::Charged, self.memory[i]))
+            .collect();
+        for vdd in &self.vdd {
+            state[vdd.0 as usize] = (Strength::Strong, Level::L1);
+        }
+        for gnd in &self.gnd {
+            state[gnd.0 as usize] = (Strength::Strong, Level::L0);
+        }
+        for (&id, &level) in &self.inputs {
+            state[id.0 as usize] = (Strength::Strong, level);
+        }
+        let base = state.clone();
+
+        // Jacobi relaxation: each iteration recomputes every node from
+        // its base drive plus the contributions implied by the *previous*
+        // iteration's state. Recomputing from base (rather than
+        // accumulating in place) lets early X guesses wash out once real
+        // drives arrive.
+        let max_iters = 4 * (n + self.netlist.transistors.len()) + 16;
+        let mut iters = 0;
+        loop {
+            iters += 1;
+            if iters > max_iters {
+                return Err(SwitchError::Unsettled {
+                    iterations: max_iters,
+                });
+            }
+            let mut next = base.clone();
+            for t in &self.netlist.transistors {
+                let gate_level = state[t.gate.0 as usize].1;
+                let conducting = match (t.kind, gate_level) {
+                    (TransistorKind::Depletion, _) => Some(false), // on; gate X is harmless
+                    (TransistorKind::Enhancement, Level::L1) => Some(false),
+                    (TransistorKind::Enhancement, Level::X) => Some(true), // maybe-on
+                    (TransistorKind::Enhancement, Level::L0) => None,
+                };
+                let Some(x_contaminated) = conducting else {
+                    continue;
+                };
+                for (from, to) in [(t.source, t.drain), (t.drain, t.source)] {
+                    let (src_strength, src_level) = state[from.0 as usize];
+                    // Strength limit through the device.
+                    let limit = match t.kind {
+                        TransistorKind::Depletion => Strength::Weak,
+                        TransistorKind::Enhancement => match src_level {
+                            // nMOS threshold drop degrades a passed 1.
+                            Level::L1 | Level::X => Strength::Weak,
+                            Level::L0 => Strength::Strong,
+                        },
+                    };
+                    let strength = src_strength.min(limit);
+                    let level = if x_contaminated { Level::X } else { src_level };
+                    let slot = &mut next[to.0 as usize];
+                    *slot = resolve(*slot, (strength, level));
+                }
+            }
+            if next == state {
+                break;
+            }
+            state = next;
+        }
+        for i in 0..n {
+            self.memory[i] = state[i].1;
+        }
+        self.state = state;
+        Ok(())
+    }
+
+    /// Clears charge memory (power-on reset to all-X).
+    pub fn reset(&mut self) {
+        self.memory.fill(Level::X);
+        for s in &mut self.state {
+            *s = (Strength::Charged, Level::X);
+        }
+    }
+}
+
+/// Resolves two (strength, level) contributions on one node.
+fn resolve(a: (Strength, Level), b: (Strength, Level)) -> (Strength, Level) {
+    match a.0.cmp(&b.0) {
+        std::cmp::Ordering::Greater => a,
+        std::cmp::Ordering::Less => b,
+        std::cmp::Ordering::Equal => (a.0, a.1.merge(b.1)),
+    }
+}
+
+impl fmt::Debug for SwitchSim<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwitchSim")
+            .field("nets", &self.netlist.net_count())
+            .field("transistors", &self.netlist.transistors.len())
+            .field("inputs", &self.inputs.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_extract::Transistor;
+
+    /// Hand-builds a netlist (no layout needed for simulator tests).
+    fn netlist(names: &[&str], transistors: Vec<Transistor>) -> Netlist {
+        Netlist {
+            net_names: names.iter().map(|s| (*s).to_owned()).collect(),
+            transistors,
+            terminals: vec![],
+        }
+    }
+
+    fn t(kind: TransistorKind, gate: u32, source: u32, drain: u32) -> Transistor {
+        Transistor {
+            kind,
+            gate: NetId(gate),
+            source: NetId(source),
+            drain: NetId(drain),
+            region: bristle_geom::Rect::new(0, 0, 2, 2),
+            width: 2,
+            length: 2,
+        }
+    }
+
+    /// Inverter: VDD(0) -dep- out(2), out -enh(gate=in(3))- GND(1).
+    fn inverter() -> Netlist {
+        netlist(
+            &["VDD", "GND", "out", "in"],
+            vec![
+                t(TransistorKind::Depletion, 2, 0, 2), // gate tied to out
+                t(TransistorKind::Enhancement, 3, 2, 1),
+            ],
+        )
+    }
+
+    #[test]
+    fn inverter_truth_table() {
+        let n = inverter();
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input("in", Level::L0).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.level("out").unwrap(), Level::L1);
+        sim.set_input("in", Level::L1).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.level("out").unwrap(), Level::L0);
+    }
+
+    #[test]
+    fn x_input_gives_x_output() {
+        let n = inverter();
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input("in", Level::X).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.level("out").unwrap(), Level::X);
+    }
+
+    /// Two-input NAND: pull-ups and a serial pull-down chain.
+    #[test]
+    fn nand_gate() {
+        // Nets: VDD=0 GND=1 out=2 a=3 b=4 mid=5.
+        let n = netlist(
+            &["VDD", "GND", "out", "a", "b", "mid"],
+            vec![
+                t(TransistorKind::Depletion, 2, 0, 2),
+                t(TransistorKind::Enhancement, 3, 2, 5),
+                t(TransistorKind::Enhancement, 4, 5, 1),
+            ],
+        );
+        let mut sim = SwitchSim::new(&n);
+        for (a, b, want) in [
+            (Level::L0, Level::L0, Level::L1),
+            (Level::L0, Level::L1, Level::L1),
+            (Level::L1, Level::L0, Level::L1),
+            (Level::L1, Level::L1, Level::L0),
+        ] {
+            sim.set_input("a", a).unwrap();
+            sim.set_input("b", b).unwrap();
+            sim.settle().unwrap();
+            assert_eq!(sim.level("out").unwrap(), want, "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn pass_transistor_degrades_one() {
+        // in(2) -enh(gate=en(3))- out(4); no load on out.
+        let n = netlist(
+            &["VDD", "GND", "in", "en", "out"],
+            vec![t(TransistorKind::Enhancement, 3, 2, 4)],
+        );
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input("in", Level::L1).unwrap();
+        sim.set_input("en", Level::L1).unwrap();
+        sim.settle().unwrap();
+        // Value passes (weakly).
+        assert_eq!(sim.level("out").unwrap(), Level::L1);
+        // A strong 0 elsewhere would override a passed 1: the weak 1 must
+        // not be strong.
+        assert_eq!(sim.state[4].0, Strength::Weak);
+        // Passing a 0 keeps full strength.
+        sim.set_input("in", Level::L0).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.state[4], (Strength::Strong, Level::L0));
+    }
+
+    #[test]
+    fn charge_storage_holds_after_release() {
+        let n = netlist(
+            &["VDD", "GND", "in", "en", "out"],
+            vec![t(TransistorKind::Enhancement, 3, 2, 4)],
+        );
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input("in", Level::L1).unwrap();
+        sim.set_input("en", Level::L1).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.level("out").unwrap(), Level::L1);
+        // Close the gate; the node keeps its charge.
+        sim.set_input("en", Level::L0).unwrap();
+        sim.set_input("in", Level::L0).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.level("out").unwrap(), Level::L1, "dynamic node lost charge");
+    }
+
+    #[test]
+    fn precharged_bus_discipline() {
+        // bus(2) precharged via enh from VDD gated by phi2(3); pulled low
+        // via enh chain: data gate(4) in series with phi1-qualified
+        // driver… simplified to one pull-down gated by drive(4).
+        let n = netlist(
+            &["VDD", "GND", "bus", "phi2", "drive"],
+            vec![
+                t(TransistorKind::Enhancement, 3, 0, 2),
+                t(TransistorKind::Enhancement, 4, 2, 1),
+            ],
+        );
+        let mut sim = SwitchSim::new(&n);
+        // φ2: precharge (drive off).
+        sim.set_input("phi2", Level::L1).unwrap();
+        sim.set_input("drive", Level::L0).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.level("bus").unwrap(), Level::L1);
+        // φ1: precharge off; nobody drives: bus holds its charge.
+        sim.set_input("phi2", Level::L0).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.level("bus").unwrap(), Level::L1);
+        // φ1 with a driver: bus pulled strongly low.
+        sim.set_input("drive", Level::L1).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.level("bus").unwrap(), Level::L0);
+    }
+
+    #[test]
+    fn unknown_net_error() {
+        let n = inverter();
+        let mut sim = SwitchSim::new(&n);
+        assert!(matches!(
+            sim.set_input("nope", Level::L0),
+            Err(SwitchError::UnknownNet(_))
+        ));
+        assert!(matches!(sim.level("nope"), Err(SwitchError::UnknownNet(_))));
+    }
+
+    #[test]
+    fn reset_clears_memory() {
+        let n = inverter();
+        let mut sim = SwitchSim::new(&n);
+        sim.set_input("in", Level::L0).unwrap();
+        sim.settle().unwrap();
+        sim.reset();
+        assert_eq!(sim.level("out").unwrap(), Level::X);
+    }
+}

@@ -1,0 +1,745 @@
+//! The element generators: procedural cells for every datapath element
+//! the chip description may name.
+//!
+//! Each generator produces one bit cell per **column**; the compiler
+//! stacks columns `data_width` high and abuts elements left to right.
+//! Control bristle names match the local control names of the matching
+//! behavior in `bristle_sim::behaviors`, which is how the compiler wires
+//! the SIMULATION representation automatically.
+
+use bristle_cell::{
+    ActiveWhen, Ballot, CellGenerator, CellId, CellReprs, ControlLine, GenCtx, GenError, Library,
+    LogicGate, LogicKind, PadKind, Phase, VotePolicy,
+};
+
+use crate::frame::{BitCellSpec, Chain, Region, Slot, Tap};
+
+fn ctl(name: &str, field: &str, active: ActiveWhen, phase: Phase) -> Slot {
+    Slot::Control {
+        name: name.into(),
+        line: ControlLine {
+            field: field.into(),
+            active,
+            phase,
+        },
+    }
+}
+
+fn plate(name: &str) -> Slot {
+    Slot::Plate { name: name.into() }
+}
+
+fn bits_for(n: u64) -> u32 {
+    64 - n.leading_zeros()
+}
+
+fn add_cell(lib: &mut Library, spec: &BitCellSpec) -> Result<CellId, GenError> {
+    let cell = spec
+        .build()
+        .map_err(|e| GenError::Unsupported(e.to_string()))?;
+    Ok(lib.add_cell(cell)?)
+}
+
+/// `registers` — a bank of `count` dynamic registers. Each register is
+/// one column: dual storage plates (read-A copy and read-B copy), both
+/// written from bus A, read onto bus A (`rda<i>`) or bus B (`rdb<i>`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegistersGen;
+
+impl CellGenerator for RegistersGen {
+    fn name(&self) -> &str {
+        "registers"
+    }
+
+    fn vote(&self, _ctx: &GenCtx, ballot: &mut Ballot) -> Result<(), GenError> {
+        ballot.vote("rail_width", VotePolicy::Max, 4)?;
+        Ok(())
+    }
+
+    fn fields(&self, ctx: &GenCtx) -> Vec<(String, u32)> {
+        let count = ctx.param_or("count", 2).max(1) as u64;
+        vec![
+            (format!("{}_rda", ctx.prefix), bits_for(count)),
+            (format!("{}_rdb", ctx.prefix), bits_for(count)),
+            (format!("{}_ld", ctx.prefix), bits_for(count)),
+        ]
+    }
+
+    fn generate(&self, ctx: &GenCtx, lib: &mut Library) -> Result<Vec<CellId>, GenError> {
+        let count = ctx.param_or("count", 2);
+        if !(1..=16).contains(&count) {
+            return Err(GenError::BadParam {
+                name: "count".into(),
+                value: count,
+                reason: "1..=16 registers supported".into(),
+            });
+        }
+        let rda_field = format!("{}_rda", ctx.prefix);
+        let rdb_field = format!("{}_rdb", ctx.prefix);
+        let ld_field = format!("{}_ld", ctx.prefix);
+        let mut columns = Vec::new();
+        for r in 0..count {
+            let mut spec = BitCellSpec::new(ctx.cell_name(&format!("reg{r}_bit")));
+            spec.slots = vec![
+                ctl(
+                    &format!("rda{r}"),
+                    &rda_field,
+                    ActiveWhen::Equals(r as u64 + 1),
+                    Phase::Phi1,
+                ),
+                plate("storeA"),
+                ctl(
+                    &format!("ld{r}"),
+                    &ld_field,
+                    ActiveWhen::Equals(r as u64 + 1),
+                    Phase::Phi1,
+                ),
+                Slot::Gap,
+                ctl(
+                    &format!("ldb{r}"),
+                    &ld_field,
+                    ActiveWhen::Equals(r as u64 + 1),
+                    Phase::Phi1,
+                ),
+                plate("storeB"),
+                ctl(
+                    &format!("rdb{r}"),
+                    &rdb_field,
+                    ActiveWhen::Equals(r as u64 + 1),
+                    Phase::Phi1,
+                ),
+            ];
+            spec.chains = vec![
+                // Read A: storeA & rda in series discharge bus A.
+                Chain {
+                    region: Region::GndBusA,
+                    from_slot: 0,
+                    to_slot: 1,
+                    left: Tap::Gnd,
+                    right: Tap::BusA,
+                },
+                // Write copy A from bus A.
+                Chain {
+                    region: Region::BusABusB,
+                    from_slot: 1,
+                    to_slot: 2,
+                    left: Tap::Plate,
+                    right: Tap::BusA,
+                },
+                // Write copy B from bus A.
+                Chain {
+                    region: Region::BusABusB,
+                    from_slot: 4,
+                    to_slot: 5,
+                    left: Tap::BusA,
+                    right: Tap::Plate,
+                },
+                // Read B: storeB & rdb discharge bus B (long tap crosses
+                // bus A without contact).
+                Chain {
+                    region: Region::GndBusA,
+                    from_slot: 5,
+                    to_slot: 6,
+                    left: Tap::Gnd,
+                    right: Tap::BusB,
+                },
+            ];
+            spec.power_ua = 60;
+            spec.reprs = CellReprs {
+                doc: format!(
+                    "Register {r} bit: dual dynamic storage, write from bus A, read to either bus."
+                ),
+                behavior: Some("registers".into()),
+                block_label: Some("REG".into()),
+                logic: vec![
+                    LogicGate::new(LogicKind::Latch, [format!("ld{r}"), "busA".into()], "storeA"),
+                    LogicGate::new(
+                        LogicKind::Pass,
+                        [format!("rda{r}"), "storeA".into()],
+                        "busA",
+                    ),
+                    LogicGate::new(
+                        LogicKind::Pass,
+                        [format!("rdb{r}"), "storeB".into()],
+                        "busB",
+                    ),
+                ],
+                ..CellReprs::default()
+            };
+            columns.push(add_cell(lib, &spec)?);
+        }
+        Ok(columns)
+    }
+}
+
+/// `alu` — operand latches from both buses, a φ2-precharged carry chain
+/// and a result driver onto bus A.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AluGen;
+
+impl AluGen {
+    fn spec(ctx: &GenCtx, loose: bool) -> BitCellSpec {
+        let op_field = format!("{}_op", ctx.prefix);
+        let actl_field = format!("{}_actl", ctx.prefix);
+        let suffix = if loose { "_loose" } else { "" };
+        let mut spec = BitCellSpec::new(ctx.cell_name(&format!("alu_bit{suffix}")));
+        spec.slots = vec![
+            ctl("lda", &actl_field, ActiveWhen::Equals(1), Phase::Phi1),
+            plate("opa"),
+            ctl("out", &actl_field, ActiveWhen::Equals(2), Phase::Phi1),
+            Slot::Gap,
+            ctl("ldb", &actl_field, ActiveWhen::Equals(1), Phase::Phi1),
+            plate("opb"),
+            Slot::Gap,
+            Slot::Clock(Phase::Phi2),
+            ctl("op0", &op_field, ActiveWhen::Bit(0), Phase::Phi2),
+            ctl("op1", &op_field, ActiveWhen::Bit(1), Phase::Phi2),
+            ctl("op2", &op_field, ActiveWhen::Bit(2), Phase::Phi2),
+        ];
+        spec.chains = vec![
+            // Latch operand A from bus A onto plate `opa`.
+            Chain {
+                region: Region::BusABusB,
+                from_slot: 0,
+                to_slot: 1,
+                left: Tap::BusA,
+                right: Tap::Plate,
+            },
+            // Result drive: opa & out discharge bus A.
+            Chain {
+                region: Region::GndBusA,
+                from_slot: 1,
+                to_slot: 2,
+                left: Tap::Gnd,
+                right: Tap::BusA,
+            },
+            // Latch operand B from bus B onto plate `opb`.
+            Chain {
+                region: Region::BusABusB,
+                from_slot: 4,
+                to_slot: 5,
+                left: Tap::BusB,
+                right: Tap::Plate,
+            },
+            // The precharged carry chain: φ2 precharges from VDD (long
+            // tap), op0 conditionally discharges to ground — the paper's
+            // carry-chain example in miniature.
+            Chain {
+                region: Region::GndBusA,
+                from_slot: 7,
+                to_slot: 8,
+                left: Tap::Vdd,
+                right: Tap::Gnd,
+            },
+        ];
+        spec.region_heights = if loose { [14, 14, 12] } else { [12, 12, 12] };
+        spec.power_ua = 180;
+        spec.reprs = CellReprs {
+            doc: "ALU bit: operand latches, precharged Manhattan carry chain (φ2), result driver."
+                .into(),
+            behavior: Some("alu".into()),
+            block_label: Some("ALU".into()),
+            logic: vec![
+                LogicGate::new(LogicKind::Latch, ["lda", "busA"], "opa"),
+                LogicGate::new(LogicKind::Latch, ["ldb", "busB"], "opb"),
+                LogicGate::new(LogicKind::Xor, ["opa", "opb"], "sum"),
+                LogicGate::new(LogicKind::And, ["opa", "opb"], "carry"),
+            ],
+            ..CellReprs::default()
+        };
+        spec
+    }
+}
+
+impl CellGenerator for AluGen {
+    fn name(&self) -> &str {
+        "alu"
+    }
+
+    fn vote(&self, _ctx: &GenCtx, ballot: &mut Ballot) -> Result<(), GenError> {
+        ballot.vote("rail_width", VotePolicy::Max, 4)?;
+        Ok(())
+    }
+
+    fn fields(&self, ctx: &GenCtx) -> Vec<(String, u32)> {
+        vec![
+            (format!("{}_op", ctx.prefix), 3),
+            (format!("{}_actl", ctx.prefix), 2),
+        ]
+    }
+
+    fn generate(&self, ctx: &GenCtx, lib: &mut Library) -> Result<Vec<CellId>, GenError> {
+        Ok(vec![add_cell(lib, &AluGen::spec(ctx, false))?])
+    }
+
+    fn variants(&self, ctx: &GenCtx, lib: &mut Library) -> Result<Vec<Vec<CellId>>, GenError> {
+        // Two layouts: compact and loose (taller regions). The compiler
+        // judges which fits the resolved pitch with minimum area — the
+        // paper's smart-cell selection.
+        Ok(vec![
+            vec![add_cell(lib, &AluGen::spec(ctx, false))?],
+            vec![add_cell(lib, &AluGen::spec(ctx, true))?],
+        ])
+    }
+}
+
+/// `shifter` — a shift register: load from bus A, shift by one per φ2,
+/// drive bus B.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShifterGen;
+
+impl CellGenerator for ShifterGen {
+    fn name(&self) -> &str {
+        "shifter"
+    }
+
+    fn fields(&self, ctx: &GenCtx) -> Vec<(String, u32)> {
+        vec![(format!("{}_sh", ctx.prefix), 3)]
+    }
+
+    fn generate(&self, ctx: &GenCtx, lib: &mut Library) -> Result<Vec<CellId>, GenError> {
+        let f = format!("{}_sh", ctx.prefix);
+        let mut spec = BitCellSpec::new(ctx.cell_name("shift_bit"));
+        spec.slots = vec![
+            ctl("ld", &f, ActiveWhen::Equals(1), Phase::Phi1),
+            plate("hold"),
+            ctl("out", &f, ActiveWhen::Equals(2), Phase::Phi1),
+            Slot::Gap,
+            ctl("sl", &f, ActiveWhen::Equals(3), Phase::Phi2),
+            ctl("sr", &f, ActiveWhen::Equals(4), Phase::Phi2),
+        ];
+        spec.chains = vec![
+            Chain {
+                region: Region::BusABusB,
+                from_slot: 0,
+                to_slot: 1,
+                left: Tap::BusA,
+                right: Tap::Plate,
+            },
+            // Output: hold & out discharge bus B via a long tap.
+            Chain {
+                region: Region::GndBusA,
+                from_slot: 1,
+                to_slot: 2,
+                left: Tap::Gnd,
+                right: Tap::BusB,
+            },
+            // Shift path stub: sl & sr pass structure (neighbor transfer).
+            Chain {
+                region: Region::BusABusB,
+                from_slot: 4,
+                to_slot: 5,
+                left: Tap::BusA,
+                right: Tap::Open,
+            },
+        ];
+        spec.region_heights = [12, 13, 12];
+        spec.power_ua = 90;
+        spec.reprs = CellReprs {
+            doc: "Shifter bit: load from bus A, φ2 shift exchange with neighbors, drive bus B."
+                .into(),
+            behavior: Some("shifter".into()),
+            block_label: Some("SHIFT".into()),
+            logic: vec![LogicGate::new(LogicKind::Latch, ["ld", "busA"], "hold")],
+            ..CellReprs::default()
+        };
+        Ok(vec![add_cell(lib, &spec)?])
+    }
+}
+
+/// `ram` — a small memory, one column per word with fully decoded word
+/// lines.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RamGen;
+
+impl CellGenerator for RamGen {
+    fn name(&self) -> &str {
+        "ram"
+    }
+
+    fn fields(&self, ctx: &GenCtx) -> Vec<(String, u32)> {
+        let words = ctx.param_or("words", 4).max(1) as u64;
+        vec![
+            (format!("{}_sel", ctx.prefix), bits_for(words)),
+            (format!("{}_rw", ctx.prefix), 2),
+        ]
+    }
+
+    fn generate(&self, ctx: &GenCtx, lib: &mut Library) -> Result<Vec<CellId>, GenError> {
+        let words = ctx.param_or("words", 4);
+        if !(1..=16).contains(&words) {
+            return Err(GenError::BadParam {
+                name: "words".into(),
+                value: words,
+                reason: "1..=16 words supported".into(),
+            });
+        }
+        let sel_field = format!("{}_sel", ctx.prefix);
+        let rw_field = format!("{}_rw", ctx.prefix);
+        let mut columns = Vec::new();
+        for wd in 0..words {
+            let mut spec = BitCellSpec::new(ctx.cell_name(&format!("ram{wd}_bit")));
+            spec.slots = vec![
+                ctl(
+                    &format!("sel{wd}"),
+                    &sel_field,
+                    ActiveWhen::Equals(wd as u64 + 1),
+                    Phase::Phi1,
+                ),
+                plate("cell"),
+                ctl("wr", &rw_field, ActiveWhen::Equals(1), Phase::Phi1),
+                Slot::Gap,
+                ctl("rd", &rw_field, ActiveWhen::Equals(2), Phase::Phi1),
+            ];
+            spec.chains = vec![
+                // Read: cell & sel discharge bus A.
+                Chain {
+                    region: Region::GndBusA,
+                    from_slot: 0,
+                    to_slot: 1,
+                    left: Tap::Gnd,
+                    right: Tap::BusA,
+                },
+                // Write: bus A through wr onto the cell plate.
+                Chain {
+                    region: Region::BusABusB,
+                    from_slot: 1,
+                    to_slot: 2,
+                    left: Tap::Plate,
+                    right: Tap::BusA,
+                },
+            ];
+            spec.power_ua = 40;
+            spec.reprs = CellReprs {
+                doc: format!("RAM word {wd} bit: decoded word line, dynamic storage."),
+                behavior: Some("ram".into()),
+                block_label: Some("RAM".into()),
+                ..CellReprs::default()
+            };
+            columns.push(add_cell(lib, &spec)?);
+        }
+        Ok(columns)
+    }
+}
+
+/// `stack` — a hardware stack, one column per level; `push`/`pop`
+/// broadcast to every level (shift-register stack).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackGen;
+
+impl CellGenerator for StackGen {
+    fn name(&self) -> &str {
+        "stack"
+    }
+
+    fn fields(&self, ctx: &GenCtx) -> Vec<(String, u32)> {
+        vec![(format!("{}_stk", ctx.prefix), 2)]
+    }
+
+    fn generate(&self, ctx: &GenCtx, lib: &mut Library) -> Result<Vec<CellId>, GenError> {
+        let depth = ctx.param_or("depth", 4);
+        if !(1..=16).contains(&depth) {
+            return Err(GenError::BadParam {
+                name: "depth".into(),
+                value: depth,
+                reason: "1..=16 levels supported".into(),
+            });
+        }
+        let f = format!("{}_stk", ctx.prefix);
+        let mut columns = Vec::new();
+        for lvl in 0..depth {
+            let mut spec = BitCellSpec::new(ctx.cell_name(&format!("stack{lvl}_bit")));
+            spec.slots = vec![
+                ctl("pop", &f, ActiveWhen::Equals(2), Phase::Phi1),
+                plate("level"),
+                ctl("push", &f, ActiveWhen::Equals(1), Phase::Phi1),
+            ];
+            spec.chains = vec![
+                Chain {
+                    region: Region::GndBusA,
+                    from_slot: 0,
+                    to_slot: 1,
+                    left: Tap::Gnd,
+                    right: Tap::BusA,
+                },
+                Chain {
+                    region: Region::BusABusB,
+                    from_slot: 1,
+                    to_slot: 2,
+                    left: Tap::Plate,
+                    right: Tap::BusA,
+                },
+            ];
+            spec.power_ua = 50;
+            spec.reprs = CellReprs {
+                doc: format!("Stack level {lvl} bit: shift-register stack cell."),
+                behavior: Some("stack".into()),
+                block_label: Some("STACK".into()),
+                ..CellReprs::default()
+            };
+            columns.push(add_cell(lib, &spec)?);
+        }
+        Ok(columns)
+    }
+}
+
+/// `inport` — drives bus A from an input pad when `drv` is asserted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InPortGen;
+
+impl CellGenerator for InPortGen {
+    fn name(&self) -> &str {
+        "inport"
+    }
+
+    fn fields(&self, ctx: &GenCtx) -> Vec<(String, u32)> {
+        vec![(format!("{}_io", ctx.prefix), 1)]
+    }
+
+    fn generate(&self, ctx: &GenCtx, lib: &mut Library) -> Result<Vec<CellId>, GenError> {
+        let f = format!("{}_io", ctx.prefix);
+        let mut spec = BitCellSpec::new(ctx.cell_name("inport_bit"));
+        spec.slots = vec![ctl("drv", &f, ActiveWhen::Bit(0), Phase::Phi1), Slot::Gap];
+        spec.chains = vec![Chain {
+            region: Region::BusABusB,
+            from_slot: 0,
+            to_slot: 0,
+            left: Tap::BusA,
+            right: Tap::PadEast(PadKind::Input, "pad_in".into()),
+        }];
+        spec.power_ua = 30;
+        spec.reprs = CellReprs {
+            doc: "Input port bit: pad driver gated onto bus A.".into(),
+            behavior: Some("inport".into()),
+            block_label: Some("IN".into()),
+            ..CellReprs::default()
+        };
+        Ok(vec![add_cell(lib, &spec)?])
+    }
+}
+
+/// `outport` — latches bus A onto an output pad when `ld` is asserted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OutPortGen;
+
+impl CellGenerator for OutPortGen {
+    fn name(&self) -> &str {
+        "outport"
+    }
+
+    fn fields(&self, ctx: &GenCtx) -> Vec<(String, u32)> {
+        vec![(format!("{}_io", ctx.prefix), 1)]
+    }
+
+    fn generate(&self, ctx: &GenCtx, lib: &mut Library) -> Result<Vec<CellId>, GenError> {
+        let f = format!("{}_io", ctx.prefix);
+        let mut spec = BitCellSpec::new(ctx.cell_name("outport_bit"));
+        spec.slots = vec![ctl("ld", &f, ActiveWhen::Bit(0), Phase::Phi1), Slot::Gap];
+        // Output ports use the region-1 wiring lane (input ports use
+        // region 2), so chips with both kinds route their pad wires on
+        // distinct horizontal lanes across the core.
+        spec.chains = vec![Chain {
+            region: Region::GndBusA,
+            from_slot: 0,
+            to_slot: 0,
+            left: Tap::BusA,
+            right: Tap::PadEast(PadKind::Output, "pad_out".into()),
+        }];
+        spec.power_ua = 400; // pad driver
+        spec.reprs = CellReprs {
+            doc: "Output port bit: bus A latch driving an output pad.".into(),
+            behavior: Some("outport".into()),
+            block_label: Some("OUT".into()),
+            ..CellReprs::default()
+        };
+        Ok(vec![add_cell(lib, &spec)?])
+    }
+}
+
+/// `precharge` — the bus precharge cell Pass 1 inserts at the head of
+/// every bus segment: φ2-gated pull-ups for both buses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrechargeGen;
+
+impl CellGenerator for PrechargeGen {
+    fn name(&self) -> &str {
+        "precharge"
+    }
+
+    fn generate(&self, ctx: &GenCtx, lib: &mut Library) -> Result<Vec<CellId>, GenError> {
+        let mut spec = BitCellSpec::new(ctx.cell_name("precharge_bit"));
+        spec.slots = vec![
+            Slot::Clock(Phase::Phi2),
+            Slot::Gap,
+            Slot::Gap,
+            Slot::Clock(Phase::Phi2),
+        ];
+        spec.chains = vec![
+            // Bus A precharge: VDD through φ2 onto bus A (long tap up).
+            Chain {
+                region: Region::BusABusB,
+                from_slot: 0,
+                to_slot: 0,
+                left: Tap::BusA,
+                right: Tap::Vdd,
+            },
+            // Bus B precharge.
+            Chain {
+                region: Region::BusBVdd,
+                from_slot: 3,
+                to_slot: 3,
+                left: Tap::BusB,
+                right: Tap::Vdd,
+            },
+        ];
+        spec.power_ua = 120;
+        spec.reprs = CellReprs {
+            doc: "Bus precharge: φ2 pull-ups restoring both buses high before each transfer."
+                .into(),
+            block_label: Some("PCHG".into()),
+            ..CellReprs::default()
+        };
+        Ok(vec![add_cell(lib, &spec)?])
+    }
+}
+
+/// All built-in generators, boxed, keyed by their element names.
+#[must_use]
+pub fn all_generators() -> Vec<Box<dyn CellGenerator>> {
+    vec![
+        Box::new(RegistersGen),
+        Box::new(AluGen),
+        Box::new(ShifterGen),
+        Box::new(RamGen),
+        Box::new(StackGen),
+        Box::new(InPortGen),
+        Box::new(OutPortGen),
+        Box::new(PrechargeGen),
+    ]
+}
+
+/// Looks up a built-in generator by element name.
+#[must_use]
+pub fn generator_named(name: &str) -> Option<Box<dyn CellGenerator>> {
+    all_generators().into_iter().find(|g| g.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_cell::{Flavor, TrackSet};
+    use bristle_drc::{check_flat, RuleSet};
+    use bristle_extract::extract;
+
+    fn ctx() -> GenCtx {
+        let mut c = GenCtx::new(8);
+        c.prefix = "e0".into();
+        c
+    }
+
+    #[test]
+    fn every_generator_is_drc_clean() {
+        for gen in all_generators() {
+            let mut lib = Library::new("t");
+            let cols = gen.generate(&ctx(), &mut lib).unwrap();
+            assert!(!cols.is_empty(), "{} made no columns", gen.name());
+            for id in cols {
+                let report = check_flat(&lib, id, &RuleSet::mead_conway());
+                assert!(
+                    report.is_clean(),
+                    "{} cell `{}`:\n{report}",
+                    gen.name(),
+                    lib.cell(id).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_cell_has_standard_tracks() {
+        for gen in all_generators() {
+            let mut lib = Library::new("t");
+            for id in gen.generate(&ctx(), &mut lib).unwrap() {
+                TrackSet::from_cell(lib.cell(id)).unwrap_or_else(|e| {
+                    panic!("{}: {e}", lib.cell(id).name());
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn register_extracts_working_devices() {
+        let mut lib = Library::new("t");
+        let cols = RegistersGen.generate(&ctx(), &mut lib).unwrap();
+        let n = extract(&lib, cols[0]);
+        // 4 chains: readA (2 gates), writeA (1 gate + plate tie),
+        // writeB (1 + tie), readB (2).
+        assert_eq!(n.transistors.len(), 6, "{n}");
+    }
+
+    #[test]
+    fn alu_has_variants() {
+        let mut lib = Library::new("t");
+        let variants = AluGen.variants(&ctx(), &mut lib).unwrap();
+        assert_eq!(variants.len(), 2);
+        let t0 = TrackSet::from_cell(lib.cell(variants[0][0])).unwrap();
+        let t1 = TrackSet::from_cell(lib.cell(variants[1][0])).unwrap();
+        assert!(t1.vdd_y > t0.vdd_y, "loose variant should be taller");
+    }
+
+    #[test]
+    fn ports_request_pads() {
+        let mut lib = Library::new("t");
+        let cols = InPortGen.generate(&ctx(), &mut lib).unwrap();
+        let pads: Vec<_> = lib
+            .cell(cols[0])
+            .bristles()
+            .iter()
+            .filter(|b| matches!(b.flavor, Flavor::Pad(_)))
+            .collect();
+        assert_eq!(pads.len(), 1);
+        assert_eq!(pads[0].name, "pad_in");
+    }
+
+    #[test]
+    fn fields_are_prefixed() {
+        let gen = RegistersGen;
+        let fields = gen.fields(&ctx());
+        assert!(fields.iter().all(|(n, _)| n.starts_with("e0_")));
+        // 2 regs -> rda/rdb/ld values 1..=2 need 2 bits each.
+        assert_eq!(fields[0].1, 2);
+        assert_eq!(fields[1].1, 2);
+        assert_eq!(fields[2].1, 2);
+    }
+
+    #[test]
+    fn generator_lookup() {
+        assert!(generator_named("alu").is_some());
+        assert!(generator_named("registers").is_some());
+        assert!(generator_named("flux_capacitor").is_none());
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let mut lib = Library::new("t");
+        let mut c = ctx();
+        c.params.insert("count".into(), 99);
+        assert!(matches!(
+            RegistersGen.generate(&c, &mut lib),
+            Err(GenError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn precharge_has_two_clock_columns() {
+        let mut lib = Library::new("t");
+        let cols = PrechargeGen.generate(&ctx(), &mut lib).unwrap();
+        let clocks = lib
+            .cell(cols[0])
+            .bristles()
+            .iter()
+            .filter(|b| matches!(b.flavor, Flavor::Clock(Phase::Phi2)))
+            .count();
+        assert_eq!(clocks, 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Conditional assembly — the paper's PROTOTYPE example verbatim:
+//!
+//! *"The user may declare a global boolean variable PROTOTYPE, which, if
+//! TRUE, will add the connection points for the pads, but if FALSE will
+//! not. At any time prior to actually compiling the chip, the user may
+//! decide whether this is a prototype chip or not."*
+//!
+//! Run with `cargo run --example prototype_flag`.
+
+use bristle_blocks::core::{ChipSpec, Compiler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let build = |prototype: bool| -> Result<_, Box<dyn std::error::Error>> {
+        let spec = ChipSpec::builder(if prototype { "proto" } else { "prod" })
+            .data_width(8)
+            .element("registers", &[("count", 4)])
+            .element("alu", &[])
+            .element("outport", &[])
+            .flag("PROTOTYPE", prototype)
+            .build()?;
+        Ok(Compiler::new().compile(&spec)?)
+    };
+
+    let proto = build(true)?;
+    let prod = build(false)?;
+
+    println!("                 prototype   production");
+    println!("pads            {:>10}   {:>10}", proto.pad_count, prod.pad_count);
+    println!(
+        "die area (λ²)   {:>10}   {:>10}",
+        proto.die_area(),
+        prod.die_area()
+    );
+    println!(
+        "pad wire (λ)    {:>10}   {:>10}",
+        proto.wire_length, prod.wire_length
+    );
+    let reclaimed = proto.die_area() - prod.die_area();
+    println!(
+        "\nflipping PROTOTYPE to FALSE reclaims {reclaimed} λ² ({:.1}% of the die)",
+        100.0 * reclaimed as f64 / proto.die_area() as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Property tests for the instruction-decoder pipeline: optimization and
+//! the two-tape Turing machine never change the decode function.
+
+use bristle_blocks::pla::{compile_on_tape, Cube, DecodeSpec};
+use proptest::prelude::*;
+
+fn arb_cube() -> impl Strategy<Value = Cube> {
+    // 10-bit space keeps exhaustive equivalence cheap.
+    (0u64..1024, 0u64..1024).prop_map(|(care, v)| Cube {
+        care,
+        value: v & care,
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = DecodeSpec> {
+    proptest::collection::vec(proptest::collection::vec(arb_cube(), 1..4), 1..6).prop_map(
+        |lines| {
+            let mut spec = DecodeSpec::new(10);
+            for (i, cubes) in lines.into_iter().enumerate() {
+                spec.add_line(format!("c{i}"), cubes);
+            }
+            spec
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimizer_preserves_function(spec in arb_spec()) {
+        let original = spec.to_pla();
+        let mut optimized = original.clone();
+        optimized.optimize();
+        prop_assert!(optimized.terms().len() <= original.terms().len());
+        prop_assert!(optimized.equivalent(&original, 12));
+    }
+
+    #[test]
+    fn tape_machine_preserves_function(spec in arb_spec()) {
+        let direct = spec.to_pla();
+        let (compiled, steps) = compile_on_tape(&spec);
+        prop_assert!(steps > 0);
+        prop_assert!(compiled.equivalent(&direct, 12));
+    }
+
+    #[test]
+    fn shared_terms_never_exceed_inputs(spec in arb_spec()) {
+        let (pla, _) = compile_on_tape(&spec);
+        let total_cubes: usize = spec.lines().iter().map(|l| l.cubes.len()).sum();
+        prop_assert!(pla.terms().len() <= total_cubes);
+    }
+
+    #[test]
+    fn eval_matches_cube_semantics(spec in arb_spec(), word in 0u64..1024) {
+        let pla = spec.to_pla();
+        for line in spec.lines() {
+            let want = line.cubes.iter().any(|c| c.matches(word));
+            prop_assert_eq!(pla.eval_output(word, &line.name), Some(want));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the Roto-Router and the pad ring.
+
+use bristle_blocks::cell::Side;
+use bristle_blocks::geom::{Point, Rect};
+use bristle_blocks::route::{clockwise_order, Ring, RotoRouter};
+use proptest::prelude::*;
+
+fn arb_points(n: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((0i64..50, 0i64..50), n..n + 1).prop_map(|v| {
+        // Spread candidates over the boundary of a 400x400 core so they
+        // are spaced like real connection points.
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (a, b))| match i % 4 {
+                0 => Point::new(8 * a, 400),
+                1 => Point::new(400, 8 * b),
+                2 => Point::new(8 * a, 0),
+                _ => Point::new(0, 8 * b),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clockwise_order_is_permutation(pts in arb_points(9)) {
+        let mut order = clockwise_order(&pts);
+        order.sort_unstable();
+        prop_assert_eq!(order, (0..pts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn assignment_is_bijective(pts in arb_points(7)) {
+        let ring = Ring::around(Rect::new(0, 0, 400, 400), pts.len());
+        let a = RotoRouter::new().assign(&ring, &pts);
+        let mut slots = a.slot_of.clone();
+        slots.sort_unstable();
+        prop_assert_eq!(slots, (0..pts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn optimization_never_loses_to_naive(pts in arb_points(8)) {
+        let ring = Ring::around(Rect::new(0, 0, 400, 400), pts.len());
+        let full = RotoRouter::new().assign(&ring, &pts);
+        let naive = RotoRouter { skip_rotation: true, skip_swaps: true }.assign(&ring, &pts);
+        prop_assert!(full.cost <= naive.cost);
+    }
+
+    #[test]
+    fn ring_walk_round_trips(s in 0i64..2000) {
+        let ring = Ring::around(Rect::new(-10, -20, 300, 200), 3);
+        let s = s % ring.perimeter();
+        let (p, side) = ring.at(s);
+        prop_assert_eq!(ring.project(p), s);
+        // Sides partition the perimeter.
+        prop_assert!(matches!(side, Side::North | Side::East | Side::South | Side::West));
+    }
+
+    #[test]
+    fn slots_are_distinct_positions(n in 3usize..24) {
+        let ring = Ring::around(Rect::new(0, 0, 500, 300), n);
+        let slots = ring.slots(n, 11);
+        let mut positions: Vec<Point> = slots.iter().map(|s| s.pos).collect();
+        positions.sort_unstable();
+        positions.dedup();
+        prop_assert_eq!(positions.len(), n);
+    }
+}

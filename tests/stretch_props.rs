@@ -1,0 +1,82 @@
+//! Property tests for the paper's central "painless operation":
+//! stretching preserves design rules, connectivity and device structure.
+
+use bristle_blocks::cell::{stretch, Cell, Library, Shape};
+use bristle_blocks::drc::{check_flat, RuleSet};
+use bristle_blocks::extract::extract;
+use bristle_blocks::geom::{Axis, Layer, Rect};
+use proptest::prelude::*;
+
+/// A randomized-but-legal cell: a transistor pair plus wiring, with a
+/// stretch line between the devices.
+fn testbed(gap: i64) -> (Library, bristle_blocks::cell::CellId) {
+    let mut lib = Library::new("prop");
+    let mut c = Cell::new("dut");
+    // Lower transistor.
+    c.push_shape(Shape::rect(Layer::Diffusion, Rect::new(0, 0, 2, 10)));
+    c.push_shape(Shape::rect(Layer::Poly, Rect::new(-2, 4, 4, 6)));
+    // Upper transistor, `gap` above.
+    let y = 14 + gap;
+    c.push_shape(Shape::rect(Layer::Diffusion, Rect::new(0, y, 2, y + 10)));
+    c.push_shape(Shape::rect(Layer::Poly, Rect::new(-2, y + 4, 4, y + 6)));
+    // A vertical metal wire crossing the stretch region.
+    c.push_shape(Shape::rect(Layer::Metal, Rect::new(8, 0, 12, y + 10)));
+    c.add_stretch_y(12);
+    let id = lib.add_cell(c).unwrap();
+    (lib, id)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stretching_preserves_drc(extra in 0i64..200) {
+        let (mut lib, id) = testbed(4);
+        let before = lib.bbox(id).unwrap().height();
+        stretch::stretch_to(&mut lib, id, Axis::Y, before + extra).unwrap();
+        let report = check_flat(&lib, id, &RuleSet::mead_conway());
+        prop_assert!(report.is_clean(), "{report}");
+        prop_assert_eq!(lib.bbox(id).unwrap().height(), before + extra);
+    }
+
+    #[test]
+    fn stretching_preserves_devices(extra in 0i64..200, gap in 0i64..40) {
+        let (mut lib, id) = testbed(gap);
+        let devices_before = extract(&lib, id).transistors.len();
+        let before = lib.bbox(id).unwrap().height();
+        stretch::stretch_to(&mut lib, id, Axis::Y, before + extra).unwrap();
+        let devices_after = extract(&lib, id).transistors.len();
+        prop_assert_eq!(devices_before, devices_after);
+    }
+
+    #[test]
+    fn stretch_map_is_monotone_and_gap_preserving(
+        positions in proptest::collection::vec(-100i64..100, 2..20),
+        line in -50i64..50,
+        delta in 0i64..60,
+    ) {
+        let mut plan = stretch::StretchPlan::new();
+        plan.insert(line, delta).unwrap();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            // Monotone and never compressing.
+            prop_assert!(plan.map(b) - plan.map(a) >= b - a);
+        }
+    }
+
+    #[test]
+    fn distribute_totals_exactly(
+        lines in proptest::collection::btree_set(-40i64..40, 1..6),
+        total in 0i64..100,
+    ) {
+        let lines: Vec<i64> = lines.into_iter().collect();
+        let plan = stretch::StretchPlan::distribute(&lines, total).unwrap();
+        prop_assert_eq!(plan.total(), total);
+        // A point beyond every line moves by exactly `total`.
+        prop_assert_eq!(plan.map(1000), 1000 + total);
+        // A point before every line does not move.
+        prop_assert_eq!(plan.map(-1000), -1000);
+    }
+}
