@@ -1,23 +1,17 @@
 //! T2 benchmark: full three-pass compilation across chip sizes.
 
+use bristle_bench::harness::Bench;
 use bristle_bench::sweep_spec;
 use bristle_core::Compiler;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_compile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile");
+fn main() {
+    let mut b = Bench::from_args();
     for width in [4u32, 8, 16] {
         for regs in [2i64, 8] {
             let spec = sweep_spec(width, regs, 2);
-            g.bench_with_input(
-                BenchmarkId::from_parameter(format!("w{width}_r{regs}")),
-                &spec,
-                |b, spec| b.iter(|| Compiler::new().compile(spec).unwrap()),
-            );
+            b.run(&format!("compile/w{width}_r{regs}"), || {
+                Compiler::new().compile(&spec).unwrap()
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);

@@ -1,34 +1,26 @@
-//! Extraction + switch-level simulation benchmark (the TRANSISTORS and
-//! SIMULATION representations).
+//! Extraction + DRC benchmark (the TRANSISTORS representation and the
+//! hierarchical checker) on the alu8 reference chip.
 
+use bristle_bench::harness::Bench;
 use bristle_bench::{compile, reference_specs};
 use bristle_extract::extract;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_extract(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::from_args();
     let chip = compile(&reference_specs()[1]).unwrap();
-    c.bench_function("extract_alu8_core", |b| {
-        b.iter(|| extract(&chip.lib, chip.core_cell))
+    b.run("extract_alu8_core", || extract(&chip.lib, chip.core_cell));
+    b.run("drc_hier_alu8_core", || {
+        bristle_drc::check_hierarchical(
+            &chip.lib,
+            chip.core_cell,
+            &bristle_drc::RuleSet::mead_conway(),
+        )
     });
-    c.bench_function("drc_hier_alu8_core", |b| {
-        b.iter(|| {
-            bristle_drc::check_hierarchical(
-                &chip.lib,
-                chip.core_cell,
-                &bristle_drc::RuleSet::mead_conway(),
-            )
-        })
-    });
-    c.bench_function("drc_flat_alu8_core", |b| {
-        b.iter(|| {
-            bristle_drc::check_flat(
-                &chip.lib,
-                chip.core_cell,
-                &bristle_drc::RuleSet::mead_conway(),
-            )
-        })
+    b.run("drc_flat_alu8_core", || {
+        bristle_drc::check_flat(
+            &chip.lib,
+            chip.core_cell,
+            &bristle_drc::RuleSet::mead_conway(),
+        )
     });
 }
-
-criterion_group!(benches, bench_extract);
-criterion_main!(benches);

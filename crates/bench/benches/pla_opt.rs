@@ -1,7 +1,7 @@
 //! A3 benchmark: two-tape machine compilation + PLA optimization.
 
+use bristle_bench::harness::Bench;
 use bristle_pla::{compile_on_tape, Cube, DecodeSpec};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn spec(lines: usize) -> DecodeSpec {
     let mut s = DecodeSpec::new(16);
@@ -13,16 +13,10 @@ fn spec(lines: usize) -> DecodeSpec {
     s
 }
 
-fn bench_pla(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pla_compile_on_tape");
+fn main() {
+    let mut b = Bench::from_args();
     for lines in [8usize, 32, 96] {
         let s = spec(lines);
-        g.bench_with_input(BenchmarkId::from_parameter(lines), &s, |b, s| {
-            b.iter(|| compile_on_tape(s))
-        });
+        b.run(&format!("pla_compile_on_tape/{lines}"), || compile_on_tape(&s));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_pla);
-criterion_main!(benches);

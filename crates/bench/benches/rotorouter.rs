@@ -1,11 +1,11 @@
 //! A2 benchmark: the Roto-Router's rotation + swap search.
 
+use bristle_bench::harness::Bench;
 use bristle_geom::{Point, Rect};
 use bristle_route::{Ring, RotoRouter};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_roto(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rotorouter");
+fn main() {
+    let mut b = Bench::from_args();
     for n in [8usize, 16, 32, 64] {
         let core = Rect::new(0, 0, 2000, 1500);
         let ring = Ring::around(core, n);
@@ -24,12 +24,6 @@ fn bench_roto(c: &mut Criterion) {
                 }
             })
             .collect();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
-            b.iter(|| RotoRouter::new().assign(&ring, pts))
-        });
+        b.run(&format!("rotorouter/{n}"), || RotoRouter::new().assign(&ring, &pts));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_roto);
-criterion_main!(benches);

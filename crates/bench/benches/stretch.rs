@@ -1,8 +1,8 @@
 //! A1 benchmark: the stretch engine ("a painless operation").
 
+use bristle_bench::harness::Bench;
 use bristle_cell::{stretch, Cell, Library, Shape};
 use bristle_geom::{Axis, Layer, Rect};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn big_cell(shapes: usize) -> (Library, bristle_cell::CellId) {
     let mut lib = Library::new("b");
@@ -15,22 +15,13 @@ fn big_cell(shapes: usize) -> (Library, bristle_cell::CellId) {
     (lib, id)
 }
 
-fn bench_stretch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("stretch_to");
+fn main() {
+    let mut b = Bench::from_args();
     for shapes in [100usize, 1000, 5000] {
-        g.bench_with_input(BenchmarkId::from_parameter(shapes), &shapes, |b, &n| {
-            b.iter_batched(
-                || big_cell(n),
-                |(mut lib, id)| {
-                    let h = lib.bbox(id).unwrap().height();
-                    stretch::stretch_to(&mut lib, id, Axis::Y, h + 40).unwrap();
-                },
-                criterion::BatchSize::SmallInput,
-            )
+        b.run(&format!("stretch_to/{shapes}"), || {
+            let (mut lib, id) = big_cell(shapes);
+            let h = lib.bbox(id).unwrap().height();
+            stretch::stretch_to(&mut lib, id, Axis::Y, h + 40).unwrap();
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_stretch);
-criterion_main!(benches);

@@ -9,6 +9,7 @@ use std::time::Instant;
 use bristle_bench::{compile, hand_core_area, reference_specs, sweep_spec};
 use bristle_core::{ChipSpec, Compiler};
 use bristle_drc::{check_hierarchical, RuleSet};
+use bristle_extract::extract;
 use bristle_geom::Point;
 
 fn main() {
@@ -49,6 +50,9 @@ fn main() {
     }
     if run("g1") {
         g1_glue_faults();
+    }
+    if run("bx") {
+        bx_extract_pass_timings();
     }
 }
 
@@ -365,6 +369,39 @@ fn g1_glue_faults() {
     println!("  leaf mutations caught by DRC : {leaf_caught}/{trials}");
     println!("  glue mutations caught by DRC : {glue_caught}/{trials}");
     println!("  (the paper's interface standards are what make the glue checkable)");
+}
+
+/// BX — the flatten-once geometry pipeline, timed pass by pass on the
+/// reference chips and the largest sweep spec, written to
+/// `BENCH_extract.json` so CI and the perf history can track it.
+fn bx_extract_pass_timings() {
+    banner("BX", "geometry pipeline per-pass wall times -> BENCH_extract.json");
+    let mut bench = bristle_bench::harness::Bench::new();
+    let mut specs = reference_specs();
+    specs.push(sweep_spec(16, 8, 4));
+    specs.push(sweep_spec(32, 8, 4));
+    for spec in &specs {
+        let chip = compile(spec).unwrap();
+        let name = &spec.name;
+        bench.run(&format!("flatten_cold/{name}"), || {
+            // Cloning the library drops its flatten cache.
+            chip.lib.clone().flatten_shared(chip.core_cell).len()
+        });
+        bench.run(&format!("flatten_cached/{name}"), || {
+            chip.lib.flatten_shared(chip.core_cell).len()
+        });
+        bench.run(&format!("extract/{name}"), || {
+            extract(&chip.lib, chip.core_cell)
+        });
+        bench.run(&format!("drc_hier/{name}"), || {
+            check_hierarchical(&chip.lib, chip.core_cell, &RuleSet::mead_conway())
+        });
+    }
+    let json = bench.to_json();
+    match std::fs::write("BENCH_extract.json", &json) {
+        Ok(()) => println!("  wrote BENCH_extract.json ({} entries)", bench.results().len()),
+        Err(e) => println!("  could not write BENCH_extract.json: {e}"),
+    }
 }
 
 /// Test-support helpers the bench needs on `Cell`.

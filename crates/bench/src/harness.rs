@@ -1,0 +1,116 @@
+//! A tiny Criterion-style bench harness.
+//!
+//! The workspace carries no external dependencies, so the `[[bench]]`
+//! targets use `harness = false` and this module instead: warmup, timed
+//! iterations, median-of-samples reporting, a `--test` smoke mode (one
+//! iteration per bench, as `cargo bench -- --test` does with Criterion),
+//! and optional JSON emission for the experiment harness.
+
+use std::time::Instant;
+
+/// One benchmark runner for a whole bench binary.
+#[derive(Default)]
+pub struct Bench {
+    test_mode: bool,
+    filter: Option<String>,
+    results: Vec<(String, f64)>,
+}
+
+impl Bench {
+    /// A runner with no filter, in full (non-smoke) mode — for
+    /// programmatic use from the experiment harness.
+    #[must_use]
+    pub fn new() -> Bench {
+        Bench {
+            test_mode: false,
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+
+    /// Builds from `std::env::args`: `--test` runs each bench once;
+    /// any other non-flag argument filters benches by substring.
+    #[must_use]
+    pub fn from_args() -> Bench {
+        let mut test_mode = false;
+        let mut filter = None;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--exact" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_owned()),
+                _ => {}
+            }
+        }
+        Bench {
+            test_mode,
+            filter,
+            results: Vec::new(),
+        }
+    }
+
+    /// True when running in `--test` smoke mode.
+    #[must_use]
+    pub fn test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Times `f`, printing and recording the median per-iteration wall
+    /// time in milliseconds.
+    pub fn run<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let t = Instant::now();
+            let _keep = f();
+            println!("{name}: ok ({:.2} ms, smoke)", ms(t.elapsed()));
+            return;
+        }
+        // Warmup.
+        let t = Instant::now();
+        let _keep = f();
+        let first = t.elapsed();
+        // Budget ~2s or 30 samples, whichever is first; at least 5 samples.
+        let budget = std::time::Duration::from_secs(2);
+        let mut samples: Vec<f64> = Vec::new();
+        let start = Instant::now();
+        while samples.len() < 5 || (samples.len() < 30 && start.elapsed() < budget) {
+            let t = Instant::now();
+            let _keep = f();
+            samples.push(ms(t.elapsed()));
+            if first > budget {
+                break; // a single iteration blows the budget; one is enough
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        println!("{name}: median {median:.3} ms, best {best:.3} ms ({} samples)", samples.len());
+        self.results.push((name.to_owned(), median));
+    }
+
+    /// The `(name, median ms)` pairs recorded so far.
+    #[must_use]
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    /// Renders the recorded results as a JSON object string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        for (i, (name, median)) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            s.push_str(&format!("  \"{name}\": {median:.6}{comma}\n"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}

@@ -6,6 +6,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use bristle_core::{ChipSpec, CompileError, CompiledChip, Compiler};
 
 /// The four reference chips of experiment T1/T2.
@@ -92,21 +94,28 @@ pub fn hand_core_area(chip: &CompiledChip) -> i64 {
     use bristle_cell::{GenCtx, TrackSet, SLICE_CLEARANCE};
     use bristle_stdcells::generator_named;
     let mut total = 0i64;
+    // One library and one context serve every element; the per-element
+    // prefix keeps generated cell names unique, and `clone_from` reuses
+    // the parameter map's allocation instead of cloning afresh.
+    let mut lib = bristle_cell::Library::new("hand");
+    let mut ctx = GenCtx::new(chip.spec.data_width);
     for e in &chip.elements {
-        let kind = if e.index == usize::MAX {
-            "precharge".to_owned()
+        let kind: &str = if e.index == usize::MAX {
+            "precharge"
         } else {
-            chip.spec.elements[e.index].kind.clone()
+            &chip.spec.elements[e.index].kind
         };
-        let Some(generator) = generator_named(&kind) else {
+        let Some(generator) = generator_named(kind) else {
             continue;
         };
-        let mut ctx = GenCtx::new(chip.spec.data_width);
-        ctx.prefix = format!("hand_{}", e.prefix);
-        if e.index != usize::MAX {
-            ctx.params = chip.spec.elements[e.index].params.clone();
+        ctx.prefix.clear();
+        ctx.prefix.push_str("hand_");
+        ctx.prefix.push_str(&e.prefix);
+        if e.index == usize::MAX {
+            ctx.params.clear();
+        } else {
+            ctx.params.clone_from(&chip.spec.elements[e.index].params);
         }
-        let mut lib = bristle_cell::Library::new("hand");
         let Ok(cols) = generator.generate(&ctx, &mut lib) else {
             continue;
         };

@@ -4,9 +4,35 @@
 //! may contain geometrical primitives and references to other cells. These
 //! cells to the LSI designer can be equated to the programmer's
 //! subroutines."* — Johannsen, DAC 1979.
+//!
+//! # The flatten cache
+//!
+//! Flattening is the gateway to every geometry back-end pass (DRC,
+//! extraction, CIF output, area accounting), and the hierarchical DRC
+//! used to re-flatten each child subtree once **per parent instance** —
+//! quadratic work on deep, repetitive datapaths. [`Library`] therefore
+//! memoizes flattening per cell ([`Library::flatten_shared`]):
+//!
+//! * Each cache entry holds the cell's **subtree-local** flat shapes —
+//!   every shape of the cell and its descendants, transformed into the
+//!   cell's own coordinate frame, paths relative to the cell.
+//! * A parent entry is composed from child entries by applying the
+//!   instance transform to each cached child shape and prefixing the
+//!   instance name onto the path. Transform composition is associative
+//!   (`s.transform(a).transform(b) == s.transform(b.after(&a))`), so the
+//!   composed result is identical to a direct recursive flatten, in the
+//!   same depth-first order.
+//! * **Invalidation:** any mutation entry point ([`Library::cell_mut`],
+//!   [`Library::add_instance`]) clears the whole cache. `add_cell` keeps
+//!   it: a new cell can only reference existing cells, so existing
+//!   entries stay valid.
+//! * The cache sits behind an `RwLock`, so `&Library` can be shared
+//!   across the scoped-thread parallel DRC/extraction loops; cloning a
+//!   library starts with a cold cache.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, RwLock};
 
 use bristle_geom::{Rect, Transform};
 #[cfg(test)]
@@ -279,11 +305,29 @@ pub struct FlatShape {
 /// The paper stores cell definitions "in disk files … to allow for the use
 /// of common cell libraries"; see [`crate::save_library`] and
 /// [`crate::load_library`] for the file format.
-#[derive(Debug, Clone, Default)]
+///
+/// Flattening is memoized per cell; see the [module docs](self) for the
+/// cache invariants.
+#[derive(Debug, Default)]
 pub struct Library {
     name: String,
     cells: Vec<Cell>,
     by_name: HashMap<String, CellId>,
+    /// Memoized subtree-local flat shapes, keyed by cell. Cleared on any
+    /// mutation; see the module docs.
+    flat_cache: RwLock<HashMap<CellId, Arc<Vec<FlatShape>>>>,
+}
+
+impl Clone for Library {
+    fn clone(&self) -> Library {
+        Library {
+            name: self.name.clone(),
+            cells: self.cells.clone(),
+            by_name: self.by_name.clone(),
+            // The cache is derived data; a clone starts cold.
+            flat_cache: RwLock::new(HashMap::new()),
+        }
+    }
 }
 
 impl Library {
@@ -294,6 +338,7 @@ impl Library {
             name: name.into(),
             cells: Vec::new(),
             by_name: HashMap::new(),
+            flat_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -347,14 +392,30 @@ impl Library {
         &self.cells[id.0 as usize]
     }
 
-    /// Mutably borrows a cell.
+    /// Mutably borrows a cell. Invalidates the flatten cache: the caller
+    /// may change geometry this cell's ancestors have cached.
     ///
     /// # Panics
     ///
     /// Panics if `id` did not come from this library.
     #[must_use]
     pub fn cell_mut(&mut self, id: CellId) -> &mut Cell {
+        self.invalidate_flat_cache();
         &mut self.cells[id.0 as usize]
+    }
+
+    fn invalidate_flat_cache(&self) {
+        self.flat_cache.write().expect("flat cache poisoned").clear();
+    }
+
+    /// Drops every memoized flatten entry, releasing the cached
+    /// geometry. The cache holds subtree-local flat copies for each
+    /// flattened cell (across a deep hierarchy that can sum to several
+    /// times one top-level flatten), so long-lived libraries that are
+    /// done with back-end passes can call this to reclaim the memory.
+    /// Purely a performance hint: later flattens recompute on demand.
+    pub fn clear_flat_cache(&self) {
+        self.invalidate_flat_cache();
     }
 
     /// Looks a cell up by name.
@@ -399,6 +460,7 @@ impl Library {
         if child.0 >= parent.0 {
             return Err(CellError::Cycle(self.cell(child).name().to_owned()));
         }
+        self.invalidate_flat_cache();
         self.cells[parent.0 as usize]
             .instances
             .push(Instance::new(child, name, transform));
@@ -428,33 +490,67 @@ impl Library {
     /// Flattens a cell: every shape in the hierarchy, transformed into the
     /// top cell's coordinates, tagged with its instance path.
     ///
+    /// Memoized — see [`Library::flatten_shared`] for the zero-copy
+    /// variant the hot passes use.
+    ///
     /// # Panics
     ///
     /// Panics if `id` did not come from this library.
     #[must_use]
     pub fn flatten(&self, id: CellId) -> Vec<FlatShape> {
-        let mut out = Vec::new();
-        self.flatten_into(id, &Transform::IDENTITY, "", &mut out);
-        out
+        self.flatten_shared(id).as_ref().clone()
     }
 
-    fn flatten_into(&self, id: CellId, t: &Transform, path: &str, out: &mut Vec<FlatShape>) {
+    /// Flattens a cell through the memoized flatten cache, sharing the
+    /// result: repeated calls for the same (unmutated) cell return the
+    /// same allocation. The shapes are in the cell's own coordinate
+    /// frame, identical in content and order to [`Library::flatten`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this library.
+    #[must_use]
+    pub fn flatten_shared(&self, id: CellId) -> Arc<Vec<FlatShape>> {
+        if let Some(hit) = self.flat_cache.read().expect("flat cache poisoned").get(&id) {
+            return Arc::clone(hit);
+        }
         let cell = self.cell(id);
-        for s in cell.shapes() {
-            out.push(FlatShape {
-                shape: s.transform(t),
-                path: path.to_owned(),
-            });
-        }
+        let mut out: Vec<FlatShape> = cell
+            .shapes()
+            .iter()
+            .map(|s| FlatShape {
+                shape: s.clone(),
+                path: String::new(),
+            })
+            .collect();
         for inst in cell.instances() {
-            let child_t = t.after(&inst.transform);
-            let child_path = if path.is_empty() {
-                inst.name.clone()
-            } else {
-                format!("{path}/{}", inst.name)
-            };
-            self.flatten_into(inst.cell, &child_t, &child_path, out);
+            // Compose the child's cached subtree at this instance:
+            // transform its shapes and prefix its paths. This equals a
+            // direct recursive flatten because shape transforms compose.
+            let child = self.flatten_shared(inst.cell);
+            out.reserve(child.len());
+            for fs in child.iter() {
+                let path = if fs.path.is_empty() {
+                    inst.name.clone()
+                } else {
+                    format!("{}/{}", inst.name, fs.path)
+                };
+                out.push(FlatShape {
+                    shape: fs.shape.transform(&inst.transform),
+                    path,
+                });
+            }
         }
+        let arc = Arc::new(out);
+        // Racing computations of the same cell produce identical values;
+        // keep whichever entry landed first.
+        Arc::clone(
+            self.flat_cache
+                .write()
+                .expect("flat cache poisoned")
+                .entry(id)
+                .or_insert(arc),
+        )
     }
 
     /// All bristles of a cell hierarchy in top-cell coordinates, with
@@ -515,7 +611,7 @@ impl Library {
     /// Panics if `id` did not come from this library.
     #[must_use]
     pub fn drawn_area(&self, id: CellId) -> i64 {
-        self.flatten(id).iter().map(|fs| fs.shape.area()).sum()
+        self.flatten_shared(id).iter().map(|fs| fs.shape.area()).sum()
     }
 }
 
@@ -661,6 +757,91 @@ mod tests {
         c.add_stretch_x(2);
         c.add_stretch_x(8);
         assert_eq!(c.stretch_x(), &[2, 8]);
+    }
+
+    /// Reference flatten: the direct recursion the cache must match.
+    fn flatten_reference(lib: &Library, id: CellId) -> Vec<FlatShape> {
+        fn go(lib: &Library, id: CellId, t: &Transform, path: &str, out: &mut Vec<FlatShape>) {
+            let cell = lib.cell(id);
+            for s in cell.shapes() {
+                out.push(FlatShape {
+                    shape: s.transform(t),
+                    path: path.to_owned(),
+                });
+            }
+            for inst in cell.instances() {
+                let child_t = t.after(&inst.transform);
+                let child_path = if path.is_empty() {
+                    inst.name.clone()
+                } else {
+                    format!("{path}/{}", inst.name)
+                };
+                go(lib, inst.cell, &child_t, &child_path, out);
+            }
+        }
+        let mut out = Vec::new();
+        go(lib, id, &Transform::IDENTITY, "", &mut out);
+        out
+    }
+
+    fn three_level_library() -> (Library, CellId) {
+        let mut lib = Library::new("t");
+        let a = lib.add_cell(leaf("a")).unwrap();
+        let mut mid = Cell::new("mid");
+        mid.push_shape(Shape::rect(Layer::Poly, Rect::new(0, 0, 2, 2)));
+        let m = lib.add_cell(mid).unwrap();
+        lib.add_instance(m, a, "u0", Transform::new(Orientation::R90, Point::new(5, 0)))
+            .unwrap();
+        lib.add_instance(m, a, "u1", Transform::translate(Point::new(0, 9)))
+            .unwrap();
+        let top = lib.add_cell(Cell::new("top")).unwrap();
+        lib.add_instance(
+            top,
+            m,
+            "v0",
+            Transform::new(Orientation::MR180, Point::new(20, 3)),
+        )
+        .unwrap();
+        lib.add_instance(top, a, "w", Transform::translate(Point::new(-4, -4)))
+            .unwrap();
+        (lib, top)
+    }
+
+    #[test]
+    fn cached_flatten_matches_direct_recursion() {
+        let (lib, top) = three_level_library();
+        let want = flatten_reference(&lib, top);
+        assert_eq!(lib.flatten(top), want, "first (cache-filling) call");
+        assert_eq!(lib.flatten(top), want, "second (cached) call");
+        // Subtree entries must also match their own direct flatten.
+        let mid = lib.find("mid").unwrap();
+        assert_eq!(*lib.flatten_shared(mid), flatten_reference(&lib, mid));
+    }
+
+    #[test]
+    fn flatten_shared_reuses_allocation() {
+        let (lib, top) = three_level_library();
+        let a = lib.flatten_shared(top);
+        let b = lib.flatten_shared(top);
+        assert!(Arc::ptr_eq(&a, &b), "cache must hand out the same Arc");
+    }
+
+    #[test]
+    fn mutation_invalidates_flatten_cache() {
+        let (mut lib, top) = three_level_library();
+        let before = lib.flatten(top);
+        let a = lib.find("a").unwrap();
+        lib.cell_mut(a)
+            .push_shape(Shape::rect(Layer::Metal, Rect::new(50, 50, 54, 52)));
+        let after = lib.flatten(top);
+        assert_eq!(after, flatten_reference(&lib, top));
+        assert!(after.len() > before.len());
+        // Adding an instance invalidates too.
+        let count = lib.flatten(top).len();
+        lib.add_instance(top, a, "w2", Transform::translate(Point::new(40, 0)))
+            .unwrap();
+        assert!(lib.flatten(top).len() > count);
+        assert_eq!(lib.flatten(top), flatten_reference(&lib, top));
     }
 
     #[test]

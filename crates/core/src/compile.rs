@@ -140,7 +140,7 @@ impl Compiler {
         let t3 = Instant::now();
         Ok(CompiledChip {
             spec: spec.clone(),
-            microcode: core.microcode.clone(),
+            microcode: core.microcode,
             lib,
             top: chip.top,
             core_cell: core.cell,
@@ -255,9 +255,9 @@ impl Compiler {
         // Smart-cell selection: the minimum-width variant whose tracks
         // fit (are ≤) the standard, then stretch-align every column.
         let mut chosen: Vec<Vec<CellId>> = Vec::new();
-        for v in variants {
-            let mut best: Option<(i64, &Vec<CellId>)> = None;
-            for cand in &v {
+        for mut v in variants {
+            let mut best: Option<(i64, usize)> = None;
+            for (ci, cand) in v.iter().enumerate() {
                 let mut fits = true;
                 let mut width = 0;
                 for &col in cand {
@@ -271,11 +271,11 @@ impl Compiler {
                     width += lib.bbox(col).map_or(0, |b| b.width());
                 }
                 if fits && best.map_or(true, |(bw, _)| width < bw) {
-                    best = Some((width, cand));
+                    best = Some((width, ci));
                 }
             }
-            let pick = best.map(|(_, c)| c).unwrap_or(&v[0]).clone();
-            chosen.push(pick);
+            let pick = best.map_or(0, |(_, ci)| ci);
+            chosen.push(v.swap_remove(pick));
         }
         for cols in &chosen {
             for &col in cols {
@@ -300,7 +300,7 @@ impl Compiler {
         let mut x = 0i64;
         let mut elements = Vec::new();
         let mut total_ua = 0u64;
-        for (p, cols) in pending.iter().zip(&chosen) {
+        for (p, cols) in pending.into_iter().zip(chosen) {
             let x_start = x;
             for (ci, &col) in cols.iter().enumerate() {
                 let w = lib.bbox(col).map_or(0, |b| b.width());
@@ -316,9 +316,9 @@ impl Compiler {
             }
             elements.push(ElementInfo {
                 index: p.index,
-                kind: p.kind.clone(),
-                prefix: p.ctx.prefix.clone(),
-                columns: cols.clone(),
+                kind: p.kind,
+                prefix: p.ctx.prefix,
+                columns: cols,
                 x_span: (x_start, x),
             });
         }
@@ -374,15 +374,15 @@ impl Compiler {
         let flat = lib.flat_bristles(core.cell);
         let mut controls: Vec<(String, ControlLine, Point)> = Vec::new();
         let mut clocks: Vec<(Phase, Point)> = Vec::new();
-        for b in &flat {
+        for b in flat {
             if b.pos.y != 0 || b.side != Side::South {
                 continue;
             }
-            match &b.flavor {
+            match b.flavor {
                 Flavor::Control(line) => {
-                    controls.push((sanitize(&b.name), line.clone(), b.pos));
+                    controls.push((sanitize(&b.name), line, b.pos));
                 }
-                Flavor::Clock(phase) => clocks.push((*phase, b.pos)),
+                Flavor::Clock(phase) => clocks.push((phase, b.pos)),
                 _ => {}
             }
         }
@@ -400,7 +400,8 @@ impl Compiler {
                     "controls reference unknown fields: {missing:?}"
                 )))
             })?;
-            dspec.add_line(name.clone(), cubes.lines()[0].cubes.clone());
+            let line = cubes.into_lines().swap_remove(0);
+            dspec.add_line(name.clone(), line.cubes);
         }
         let (pla, tape_steps) = if self.unoptimized_decoder {
             (dspec.to_pla(), 0)
@@ -612,19 +613,20 @@ impl Compiler {
             ));
             wire_length += from.manhattan(*to);
         }
-        for w in &wires {
-            wire_length += w.length;
-            for s in &w.shapes {
-                chip.push_shape(s.clone());
-            }
-        }
         // Pad cells at their slots, rotated to face the core.
         let slots = ring.slots(points.len(), 0);
+        let wire_slots: Vec<usize> = wires.iter().map(|w| w.slot).collect();
+        for w in wires {
+            wire_length += w.length;
+            for s in w.shapes {
+                chip.push_shape(s);
+            }
+        }
         let mut pad_ids: Vec<(CellId, Transform)> = Vec::new();
-        for (i, w) in wires.iter().enumerate() {
-            let slot = &slots[w.slot];
+        for (i, &wslot) in wire_slots.iter().enumerate() {
+            let slot = &slots[wslot];
             let kind = kinds[i];
-            let cname = format!("{}_pad{}_{}", spec.name, w.slot, kind);
+            let cname = format!("{}_pad{}_{}", spec.name, wslot, kind);
             let id = match lib.find(&cname) {
                 Some(id) => id,
                 None => lib.add_cell(pad_cell(kind, &cname))?,
@@ -778,20 +780,16 @@ impl CompiledChip {
             };
             // Bind control lines: every control bristle in this element's
             // columns, deduplicated by local name.
-            let mut bindings: Vec<(String, ControlLine)> = Vec::new();
+            let mut refs: Vec<(&str, ControlLine)> = Vec::new();
             for &col in &e.columns {
                 for b in self.lib.cell(col).bristles() {
                     if let Flavor::Control(line) = &b.flavor {
-                        if !bindings.iter().any(|(n, _)| n == &b.name) {
-                            bindings.push((b.name.clone(), line.clone()));
+                        if !refs.iter().any(|(n, _)| *n == b.name) {
+                            refs.push((b.name.as_str(), line.clone()));
                         }
                     }
                 }
             }
-            let refs: Vec<(&str, ControlLine)> = bindings
-                .iter()
-                .map(|(n, l)| (n.as_str(), l.clone()))
-                .collect();
             machine.add_element(behavior, &refs)?;
         }
         Ok(machine)

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use bristle_cell::{CellId, Library, Shape, ShapeGeom};
-use bristle_geom::{Layer, Rect, RectIndex};
+use bristle_geom::{par_map, Layer, QueryScratch, Rect, RectIndex};
 
 use crate::cover::covered_by;
 use crate::rules::{RuleKind, RuleSet};
@@ -96,10 +96,8 @@ impl Soup {
         let layers = per_layer
             .into_iter()
             .map(|(layer, rects)| {
-                let mut index = RectIndex::new(16);
-                for (i, &(r, _)) in rects.iter().enumerate() {
-                    index.insert(i, r);
-                }
+                let index =
+                    RectIndex::bulk_build(rects.iter().enumerate().map(|(i, &(r, _))| (i, r)));
                 (layer, LayerSoup { rects, index })
             })
             .collect();
@@ -118,7 +116,12 @@ impl Soup {
 /// Group id used for a cell's own (non-instanced) shapes.
 const OWN_GROUP: u32 = u32::MAX;
 
-fn check_shape_widths(cell: &str, shapes: &[Shape], rules: &RuleSet, out: &mut Report) {
+fn check_shape_widths<'a>(
+    cell: &str,
+    shapes: impl Iterator<Item = &'a Shape>,
+    rules: &RuleSet,
+    out: &mut Report,
+) {
     for s in shapes {
         let Some(min) = rules.min_width(s.layer) else {
             continue;
@@ -150,18 +153,22 @@ fn check_spacing(
     skip_same_group: bool,
     out: &mut Report,
 ) {
-    for (&layer, ls) in &soup.layers {
+    let mut scratch = QueryScratch::new();
+    // Iterate layers in a fixed order so reports are deterministic.
+    let mut layers: Vec<(&Layer, &LayerSoup)> = soup.layers.iter().collect();
+    layers.sort_by_key(|&(l, _)| *l);
+    for (&layer, ls) in layers {
         let Some(space) = rules.min_spacing(layer) else {
             continue;
         };
         for (i, &(r, group)) in ls.rects.iter().enumerate() {
-            for (j, other) in ls.index.query(r.inflate(space)) {
+            ls.index.query_with(r.inflate(space), &mut scratch, |j, other| {
                 if j <= i {
-                    continue;
+                    return;
                 }
                 let other_group = ls.rects[j].1;
                 if skip_same_group && group == other_group && group != OWN_GROUP {
-                    continue;
+                    return;
                 }
                 out.checked_pairs += 1;
                 let gap = r.spacing(&other);
@@ -173,7 +180,7 @@ fn check_spacing(
                         message: format!("gap {gap}λ < {space}λ"),
                     });
                 }
-            }
+            });
         }
     }
 }
@@ -187,14 +194,15 @@ fn gate_regions(soup: &Soup) -> Vec<Rect> {
         return gates;
     };
     let buried = soup.rects(Layer::Buried);
+    let mut scratch = QueryScratch::new();
     for &(p, _) in &poly.rects {
-        for (_, d) in diff.index.query(p) {
+        diff.index.query_with(p, &mut scratch, |_, d| {
             if let Some(g) = p.intersection(&d) {
                 if !covered_by(g, &buried) {
                     gates.push(g);
                 }
             }
-        }
+        });
     }
     // Merge duplicates (identical regions found via different rect pairs).
     gates.sort_unstable();
@@ -269,18 +277,19 @@ fn check_poly_diff_spacing(cell: &str, soup: &Soup, rules: &RuleSet, out: &mut R
     };
     let buried = soup.rects(Layer::Buried);
     let s = rules.space_poly_diff;
+    let mut scratch = QueryScratch::new();
     for &(p, _) in &poly.rects {
-        for (_, d) in diff.index.query(p.inflate(s)) {
+        diff.index.query_with(p.inflate(s), &mut scratch, |_, d| {
             out.checked_pairs += 1;
             if p.overlaps(&d) {
-                continue; // transistor or buried junction: handled elsewhere
+                return; // transistor or buried junction: handled elsewhere
             }
             let gap = p.spacing(&d);
             if gap < s {
                 // A butting junction is fine when a buried contact spans it.
                 let junction = p.union(&d);
                 if buried.iter().any(|b| b.overlaps(&junction)) {
-                    continue;
+                    return;
                 }
                 out.violations.push(Violation {
                     rule: RuleKind::PolyDiffSpacing,
@@ -289,7 +298,7 @@ fn check_poly_diff_spacing(cell: &str, soup: &Soup, rules: &RuleSet, out: &mut R
                     message: format!("poly–diffusion gap {gap}λ < {s}λ"),
                 });
             }
-        }
+        });
     }
 }
 
@@ -342,7 +351,7 @@ fn check_contacts(cell: &str, soup: &Soup, rules: &RuleSet, out: &mut Report) {
 
 fn check_soup(
     cell: &str,
-    shapes: &[(Shape, u32)],
+    shapes: &[(&Shape, u32)],
     rules: &RuleSet,
     skip_same_group: bool,
     widths: bool,
@@ -350,10 +359,9 @@ fn check_soup(
 ) -> Report {
     let mut out = Report::default();
     if widths {
-        let own: Vec<Shape> = shapes.iter().map(|(s, _)| s.clone()).collect();
-        check_shape_widths(cell, &own, rules, &mut out);
+        check_shape_widths(cell, shapes.iter().map(|&(s, _)| s), rules, &mut out);
     }
-    let soup = Soup::build(shapes.iter().map(|(s, g)| (s, *g)));
+    let soup = Soup::build(shapes.iter().copied());
     check_spacing(cell, &soup, rules, skip_same_group, &mut out);
     if devices {
         check_transistors(cell, &soup, rules, &mut out);
@@ -366,18 +374,16 @@ fn check_soup(
 /// Checks a fully flattened cell hierarchy against `rules`.
 ///
 /// Every rule runs on the complete artwork — the brute-force mode the
-/// paper contrasts with per-cell checking.
+/// paper contrasts with per-cell checking. The flattened view comes from
+/// the library's memoized cache, so repeated checks re-use the geometry.
 ///
 /// # Panics
 ///
 /// Panics if `top` is not a cell of `lib`.
 #[must_use]
 pub fn check_flat(lib: &Library, top: CellId, rules: &RuleSet) -> Report {
-    let flat = lib.flatten(top);
-    let shapes: Vec<(Shape, u32)> = flat
-        .into_iter()
-        .map(|fs| (fs.shape, OWN_GROUP))
-        .collect();
+    let flat = lib.flatten_shared(top);
+    let shapes: Vec<(&Shape, u32)> = flat.iter().map(|fs| (&fs.shape, OWN_GROUP)).collect();
     check_soup(lib.cell(top).name(), &shapes, rules, false, true, true)
 }
 
@@ -398,65 +404,32 @@ pub fn check_flat(lib: &Library, top: CellId, rules: &RuleSet) -> Report {
 /// generators in `bristle-stdcells` guarantee this); cross-cell
 /// transistors would be missed.
 ///
+/// Since the flatten-once rework this runs the per-cell loop in
+/// parallel: each distinct cell is an independent unit of work, the
+/// library's memoized flatten cache supplies every subtree exactly once
+/// (no re-flatten per parent instance), and the per-cell reports are
+/// merged in deterministic (dependency) order before the final
+/// sort + dedup, so the violation list is reproducible run to run.
+///
 /// # Panics
 ///
 /// Panics if `top` is not a cell of `lib`.
 #[must_use]
 pub fn check_hierarchical(lib: &Library, top: CellId, rules: &RuleSet) -> Report {
-    let mut report = Report::default();
     let mut order: Vec<CellId> = Vec::new();
     let mut seen = std::collections::HashSet::new();
     collect(lib, top, &mut seen, &mut order);
 
+    // Warm the flatten cache bottom-up (order is post-order) so the
+    // parallel workers below mostly read it.
     for &id in &order {
-        let cell = lib.cell(id);
-        // 1. The cell in isolation, fully.
-        let own_flat = lib.flatten(id);
-        let shapes: Vec<(Shape, u32)> =
-            own_flat.into_iter().map(|fs| (fs.shape, OWN_GROUP)).collect();
-        // Only intra-cell spacing between the cell's *own* shapes plus
-        // device rules; instance interiors are their own cells' business.
-        // Widths: own shapes only (children already checked).
-        let own_shapes: Vec<(Shape, u32)> = cell
-            .shapes()
-            .iter()
-            .map(|s| (s.clone(), OWN_GROUP))
-            .collect();
-        report.merge(check_soup(cell.name(), &own_shapes, rules, false, true, false));
-        // Device rules need full context (a gate's diffusion may continue
-        // into a neighbor). They run once per distinct cell on its flat
-        // view — but only when the cell's *own* shapes touch device
-        // layers; pure-assembly parents (the compiler's "glue") contribute
-        // no devices of their own and their children were already checked.
-        let has_own_device_shapes = cell.shapes().iter().any(|s| {
-            matches!(
-                s.layer,
-                Layer::Poly | Layer::Diffusion | Layer::Contact | Layer::Buried | Layer::Implant
-            )
-        });
-        if has_own_device_shapes {
-            let mut dev = Report::default();
-            let soup = Soup::build(shapes.iter().map(|(s, g)| (s, *g)));
-            check_transistors(cell.name(), &soup, rules, &mut dev);
-            check_poly_diff_spacing(cell.name(), &soup, rules, &mut dev);
-            check_contacts(cell.name(), &soup, rules, &mut dev);
-            report.merge(dev);
-        }
+        let _ = lib.flatten_shared(id);
+    }
 
-        // 2. Inter-instance spacing within this parent.
-        if !cell.instances().is_empty() {
-            let mut tagged: Vec<(Shape, u32)> = cell
-                .shapes()
-                .iter()
-                .map(|s| (s.clone(), OWN_GROUP))
-                .collect();
-            for (gi, inst) in cell.instances().iter().enumerate() {
-                for fs in lib.flatten(inst.cell) {
-                    tagged.push((fs.shape.transform(&inst.transform), gi as u32));
-                }
-            }
-            report.merge(check_soup(cell.name(), &tagged, rules, true, false, false));
-        }
+    let per_cell = par_map(&order, |_, &id| check_cell(lib, id, rules));
+    let mut report = Report::default();
+    for r in per_cell {
+        report.merge(r);
     }
     // De-duplicate: device rules re-detect the same gate in parents that
     // flatten children; a cell's violations may repeat across contexts.
@@ -466,6 +439,59 @@ pub fn check_hierarchical(lib: &Library, top: CellId, rules: &RuleSet) -> Report
     report
         .violations
         .dedup_by(|a, b| a.rule == b.rule && a.at == b.at && a.cell == b.cell);
+    report
+}
+
+/// One cell's worth of hierarchical DRC: isolation rules plus
+/// inter-instance interactions within this parent.
+fn check_cell(lib: &Library, id: CellId, rules: &RuleSet) -> Report {
+    let mut report = Report::default();
+    let cell = lib.cell(id);
+    // 1. The cell in isolation. Only intra-cell spacing between the
+    // cell's *own* shapes plus device rules; instance interiors are
+    // their own cells' business. Widths: own shapes only (children
+    // already checked).
+    let own_shapes: Vec<(&Shape, u32)> =
+        cell.shapes().iter().map(|s| (s, OWN_GROUP)).collect();
+    report.merge(check_soup(cell.name(), &own_shapes, rules, false, true, false));
+    // Device rules need full context (a gate's diffusion may continue
+    // into a neighbor). They run once per distinct cell on its flat
+    // view — but only when the cell's *own* shapes touch device
+    // layers; pure-assembly parents (the compiler's "glue") contribute
+    // no devices of their own and their children were already checked.
+    let has_own_device_shapes = cell.shapes().iter().any(|s| {
+        matches!(
+            s.layer,
+            Layer::Poly | Layer::Diffusion | Layer::Contact | Layer::Buried | Layer::Implant
+        )
+    });
+    if has_own_device_shapes {
+        let own_flat = lib.flatten_shared(id);
+        let mut dev = Report::default();
+        let soup = Soup::build(own_flat.iter().map(|fs| (&fs.shape, OWN_GROUP)));
+        check_transistors(cell.name(), &soup, rules, &mut dev);
+        check_poly_diff_spacing(cell.name(), &soup, rules, &mut dev);
+        check_contacts(cell.name(), &soup, rules, &mut dev);
+        report.merge(dev);
+    }
+
+    // 2. Inter-instance spacing within this parent. Children come from
+    // the flatten cache — composed once per distinct cell, not once per
+    // instance — and only their transforms differ per instance.
+    if !cell.instances().is_empty() {
+        let mut placed: Vec<(Shape, u32)> = Vec::new();
+        for (gi, inst) in cell.instances().iter().enumerate() {
+            let child = lib.flatten_shared(inst.cell);
+            placed.reserve(child.len());
+            for fs in child.iter() {
+                placed.push((fs.shape.transform(&inst.transform), gi as u32));
+            }
+        }
+        let mut tagged: Vec<(&Shape, u32)> =
+            cell.shapes().iter().map(|s| (s, OWN_GROUP)).collect();
+        tagged.extend(placed.iter().map(|(s, g)| (s, *g)));
+        report.merge(check_soup(cell.name(), &tagged, rules, true, false, false));
+    }
     report
 }
 

@@ -43,4 +43,6 @@ mod netlist;
 mod union_find;
 
 pub use netlist::{extract, Netlist, NetId, Transistor, TransistorKind};
+#[doc(hidden)]
+pub use netlist::extract_reference;
 pub use union_find::UnionFind;

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use bristle_cell::{CellId, Library};
-use bristle_geom::{Layer, Rect, RectIndex};
+use bristle_geom::{par_chunks, Layer, QueryScratch, Rect, RectIndex};
 
 use crate::union_find::UnionFind;
 
@@ -57,7 +57,7 @@ pub struct Transistor {
 }
 
 /// An extracted netlist.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Netlist {
     /// Net names, indexed by [`NetId`]. Unnamed nets get `n<k>`.
     pub net_names: Vec<String>,
@@ -136,12 +136,20 @@ struct Piece {
 /// Net names come from shape labels (`Shape::with_label`) and from
 /// bristles; unlabeled nets are named `n<k>`.
 ///
+/// Flatten-once pipeline: the hierarchy is flattened through the
+/// library's memoized cache, every conductor layer is indexed once with
+/// [`RectIndex::bulk_build`], and all connectivity questions (same-layer
+/// touching, contact/buried joins, terminal hits, channel direction) are
+/// index queries. The same-layer union sweep runs in parallel; union
+/// pairs are merged in deterministic order, and the resulting netlist is
+/// byte-identical to the naive reference ([`extract_reference`]).
+///
 /// # Panics
 ///
 /// Panics if `top` is not a cell of `lib`.
 #[must_use]
 pub fn extract(lib: &Library, top: CellId) -> Netlist {
-    let flat = lib.flatten(top);
+    let flat = lib.flatten_shared(top);
 
     // Gather per-layer rects (conductors split later; cuts kept whole).
     let mut poly: Vec<Piece> = Vec::new();
@@ -150,8 +158,8 @@ pub fn extract(lib: &Library, top: CellId) -> Netlist {
     let mut contacts: Vec<Rect> = Vec::new();
     let mut buried: Vec<Rect> = Vec::new();
     let mut implants: Vec<Rect> = Vec::new();
-    for fs in &flat {
-        let label = fs.shape.label().map(str::to_owned);
+    for fs in flat.iter() {
+        let label = fs.shape.label();
         for r in fs.shape.to_rects() {
             if r.is_degenerate() {
                 continue;
@@ -159,7 +167,7 @@ pub fn extract(lib: &Library, top: CellId) -> Netlist {
             let piece = Piece {
                 layer: fs.shape.layer,
                 rect: r,
-                label: label.clone(),
+                label: label.map(str::to_owned),
             };
             match fs.shape.layer {
                 Layer::Poly => poly.push(piece),
@@ -173,29 +181,45 @@ pub fn extract(lib: &Library, top: CellId) -> Netlist {
         }
     }
 
+    let mut scratch = QueryScratch::new();
+
     // Find gate regions: poly ∩ diffusion, minus buried-contact cover.
-    let mut poly_index = RectIndex::new(16);
-    for (i, p) in poly.iter().enumerate() {
-        poly_index.insert(i, p.rect);
-    }
+    // Buried cover is confirmed against only the buried rects near the
+    // candidate region (rects that do not touch it cannot cover it).
+    let poly_index = RectIndex::bulk_build(poly.iter().enumerate().map(|(i, p)| (i, p.rect)));
+    let buried_index = RectIndex::bulk_build(buried.iter().copied().enumerate());
     let mut gates: Vec<(Rect, usize)> = Vec::new(); // (region, poly piece index)
+    let mut near_buried: Vec<Rect> = Vec::new();
     for d in &diff {
-        for (pi, pr) in poly_index.query(d.rect) {
+        let mut cands: Vec<(Rect, usize)> = Vec::new();
+        poly_index.query_with(d.rect, &mut scratch, |pi, pr| {
             if let Some(g) = pr.intersection(&d.rect) {
-                if !crate::netlist::covered(g, &buried) {
-                    gates.push((g, pi));
-                }
+                cands.push((g, pi));
+            }
+        });
+        for (g, pi) in cands {
+            near_buried.clear();
+            buried_index.query_with(g, &mut scratch, |_, b| near_buried.push(b));
+            if !covered(g, &near_buried) {
+                gates.push((g, pi));
             }
         }
     }
     gates.sort_by_key(|&(g, _)| g);
     gates.dedup_by_key(|&mut (g, _)| g);
 
-    // Split diffusion at the gates.
-    let gate_rects: Vec<Rect> = gates.iter().map(|&(g, _)| g).collect();
+    // Split diffusion at the gates. Only cuts near a diffusion rect can
+    // split it, so query the gate index instead of scanning every gate;
+    // the candidate list keeps the global gate order, which `subtract`
+    // depends on for its fragment geometry.
+    let gate_index =
+        RectIndex::bulk_build(gates.iter().enumerate().map(|(i, &(g, _))| (i, g)));
     let mut channel_pieces: Vec<Piece> = Vec::new();
+    let mut near_gates: Vec<Rect> = Vec::new();
     for d in diff {
-        for r in d.rect.subtract(&gate_rects) {
+        near_gates.clear();
+        gate_index.query_with(d.rect, &mut scratch, |_, g| near_gates.push(g));
+        for r in d.rect.subtract(&near_gates) {
             if !r.is_degenerate() {
                 channel_pieces.push(Piece {
                     layer: Layer::Diffusion,
@@ -207,64 +231,93 @@ pub fn extract(lib: &Library, top: CellId) -> Netlist {
     }
     let diff = channel_pieces;
 
-    // Build the global piece list and indexes.
+    // Build the global piece list, then index every conductor layer once.
+    // These indexes back all remaining connectivity queries.
     let mut pieces: Vec<Piece> = Vec::new();
     pieces.extend(poly);
-    let poly_range = 0..pieces.len();
     pieces.extend(diff);
-    let diff_range = poly_range.end..pieces.len();
     pieces.extend(metal);
-    let metal_range = diff_range.end..pieces.len();
 
     let mut index_by_layer: HashMap<Layer, RectIndex> = HashMap::new();
-    for (i, p) in pieces.iter().enumerate() {
-        index_by_layer
-            .entry(p.layer)
-            .or_insert_with(|| RectIndex::new(16))
-            .insert(i, p.rect);
+    for layer in [Layer::Poly, Layer::Diffusion, Layer::Metal] {
+        let idx = RectIndex::bulk_build(
+            pieces
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.layer == layer)
+                .map(|(i, p)| (i, p.rect)),
+        );
+        if !idx.is_empty() {
+            index_by_layer.insert(layer, idx);
+        }
     }
 
     let mut uf = UnionFind::new(pieces.len());
 
-    // Same-layer touching rects connect.
-    for (i, p) in pieces.iter().enumerate() {
-        if let Some(idx) = index_by_layer.get(&p.layer) {
-            for (j, _) in idx.query(p.rect) {
-                if j > i && pieces[j].rect.touches(&p.rect) {
-                    uf.union(i, j);
-                }
+    // Same-layer touching rects connect. The sweep is embarrassingly
+    // parallel: workers collect (i, j) candidate pairs over contiguous
+    // piece chunks (each with its own query scratch), then the pairs are
+    // union-ed serially in chunk order. The union-find partition is
+    // independent of union order, so the result is deterministic.
+    let pair_chunks: Vec<Vec<(usize, usize)>> = par_chunks(&pieces, |off, chunk| {
+        let mut scratch = QueryScratch::new();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (k, p) in chunk.iter().enumerate() {
+            let i = off + k;
+            if let Some(idx) = index_by_layer.get(&p.layer) {
+                idx.query_with(p.rect, &mut scratch, |j, _| {
+                    if j > i {
+                        pairs.push((i, j));
+                    }
+                });
             }
+        }
+        pairs
+    });
+    for pairs in pair_chunks {
+        for (i, j) in pairs {
+            uf.union(i, j);
         }
     }
 
     // Contacts join everything they overlap (metal↔poly/diff; a butting
-    // contact may join all three).
+    // contact may join all three). Each cut queries the layer indexes
+    // instead of scanning every piece.
+    let conductor_indexes: Vec<&RectIndex> = [Layer::Poly, Layer::Diffusion, Layer::Metal]
+        .iter()
+        .filter_map(|l| index_by_layer.get(l))
+        .collect();
+    let mut joined: Vec<usize> = Vec::new();
     for c in &contacts {
-        let mut first: Option<usize> = None;
-        for range in [poly_range.clone(), diff_range.clone(), metal_range.clone()] {
-            for i in range {
-                if pieces[i].rect.overlaps(c) {
-                    match first {
-                        None => first = Some(i),
-                        Some(f) => uf.union(f, i),
-                    }
+        joined.clear();
+        for idx in &conductor_indexes {
+            idx.query_with(*c, &mut scratch, |i, r| {
+                if r.overlaps(c) {
+                    joined.push(i);
                 }
-            }
+            });
+        }
+        for w in joined.windows(2) {
+            uf.union(w[0], w[1]);
         }
     }
 
     // Buried contacts join poly and diffusion.
+    let pd_indexes: Vec<&RectIndex> = [Layer::Poly, Layer::Diffusion]
+        .iter()
+        .filter_map(|l| index_by_layer.get(l))
+        .collect();
     for b in &buried {
-        let mut first: Option<usize> = None;
-        for range in [poly_range.clone(), diff_range.clone()] {
-            for i in range {
-                if pieces[i].rect.overlaps(b) {
-                    match first {
-                        None => first = Some(i),
-                        Some(f) => uf.union(f, i),
-                    }
+        joined.clear();
+        for idx in &pd_indexes {
+            idx.query_with(*b, &mut scratch, |i, r| {
+                if r.overlaps(b) {
+                    joined.push(i);
                 }
-            }
+            });
+        }
+        for w in joined.windows(2) {
+            uf.union(w[0], w[1]);
         }
     }
 
@@ -286,13 +339,15 @@ pub fn extract(lib: &Library, top: CellId) -> Netlist {
 
     let net_of = |uf: &mut UnionFind, i: usize| -> NetId { root_to_net[&uf.find(i)] };
 
-    // Bristle terminals: name the net under each bristle position.
+    // Bristle terminals: name the net under each bristle position. The
+    // layer index yields candidates in piece order, so the first hit is
+    // the same piece the old full scan found.
     let mut terminals: Vec<(String, NetId)> = Vec::new();
     for b in lib.flat_bristles(top) {
-        // A bristle names whichever piece of its layer contains its point.
-        let hit = pieces.iter().enumerate().find(|(_, p)| {
-            p.layer == b.layer && p.rect.contains(b.pos)
-        });
+        let probe = Rect::new(b.pos.x, b.pos.y, b.pos.x, b.pos.y);
+        let hit = index_by_layer
+            .get(&b.layer)
+            .and_then(|idx| idx.first_match(probe, &mut scratch, |_, r| r.contains(b.pos)));
         if let Some((i, _)) = hit {
             let id = net_of(&mut uf, i);
             if names[id.0 as usize].is_none() {
@@ -304,18 +359,25 @@ pub fn extract(lib: &Library, top: CellId) -> Netlist {
 
     // Transistors: for each gate, the gate net is its poly piece's net;
     // source/drain are diffusion pieces touching the gate region.
+    let implant_index = RectIndex::bulk_build(implants.iter().copied().enumerate());
     let mut transistors = Vec::new();
     let diff_idx = index_by_layer.get(&Layer::Diffusion);
     for &(g, poly_piece) in &gates {
         let gate_net = net_of(&mut uf, poly_piece);
         let mut sd: Vec<NetId> = Vec::new();
+        let mut touching_diff: Vec<Rect> = Vec::new();
         if let Some(didx) = diff_idx {
-            for (j, r) in didx.query(g.inflate(1)) {
+            let mut hits: Vec<usize> = Vec::new();
+            didx.query_with(g.inflate(1), &mut scratch, |j, r| {
                 if r.touches(&g) {
-                    let id = net_of(&mut uf, j);
-                    if !sd.contains(&id) {
-                        sd.push(id);
-                    }
+                    hits.push(j);
+                    touching_diff.push(r);
+                }
+            });
+            for j in hits {
+                let id = net_of(&mut uf, j);
+                if !sd.contains(&id) {
+                    sd.push(id);
                 }
             }
         }
@@ -325,7 +387,11 @@ pub fn extract(lib: &Library, top: CellId) -> Netlist {
             [only] => (*only, *only),
             [a, b, ..] => (*a, *b),
         };
-        let kind = if implants.iter().any(|imp| imp.overlaps(&g)) {
+        let mut depletion = false;
+        implant_index.query_with(g, &mut scratch, |_, imp| {
+            depletion |= imp.overlaps(&g);
+        });
+        let kind = if depletion {
             TransistorKind::Depletion
         } else {
             TransistorKind::Enhancement
@@ -333,12 +399,9 @@ pub fn extract(lib: &Library, top: CellId) -> Netlist {
         // Channel direction: diffusion continues past the gate on two
         // opposite sides; current flows that way. If diffusion extends
         // vertically, L = gate height and W = gate width.
-        let vertical = pieces
-            .iter()
-            .any(|p| p.layer == Layer::Diffusion && p.rect.touches(&g) && {
-                let r = p.rect;
-                r.x0 < g.x1 && g.x0 < r.x1 && (r.y1 == g.y0 || r.y0 == g.y1)
-            });
+        let vertical = touching_diff.iter().any(|r| {
+            r.x0 < g.x1 && g.x0 < r.x1 && (r.y1 == g.y0 || r.y0 == g.y1)
+        });
         let (width, length) = if vertical {
             (g.width(), g.height())
         } else {
@@ -404,6 +467,214 @@ fn covered(window: Rect, rects: &[Rect]) -> bool {
         residue = next;
     }
     residue.is_empty()
+}
+
+/// The pre-index reference extractor: linear scans everywhere.
+///
+/// Kept verbatim as the oracle for the regression tests that pin the
+/// indexed/parallel [`extract`] to byte-identical output. Quadratic in
+/// the piece count — never use it outside tests and benches.
+#[doc(hidden)]
+#[must_use]
+pub fn extract_reference(lib: &Library, top: CellId) -> Netlist {
+    let flat = lib.flatten(top);
+
+    let mut poly: Vec<Piece> = Vec::new();
+    let mut diff: Vec<Piece> = Vec::new();
+    let mut metal: Vec<Piece> = Vec::new();
+    let mut contacts: Vec<Rect> = Vec::new();
+    let mut buried: Vec<Rect> = Vec::new();
+    let mut implants: Vec<Rect> = Vec::new();
+    for fs in &flat {
+        let label = fs.shape.label().map(str::to_owned);
+        for r in fs.shape.to_rects() {
+            if r.is_degenerate() {
+                continue;
+            }
+            let piece = Piece {
+                layer: fs.shape.layer,
+                rect: r,
+                label: label.clone(),
+            };
+            match fs.shape.layer {
+                Layer::Poly => poly.push(piece),
+                Layer::Diffusion => diff.push(piece),
+                Layer::Metal => metal.push(piece),
+                Layer::Contact => contacts.push(r),
+                Layer::Buried => buried.push(r),
+                Layer::Implant => implants.push(r),
+                Layer::Overglass => {}
+            }
+        }
+    }
+
+    // Gate regions by brute-force poly×diffusion intersection.
+    let mut gates: Vec<(Rect, usize)> = Vec::new();
+    for d in &diff {
+        for (pi, p) in poly.iter().enumerate() {
+            if !p.rect.touches(&d.rect) {
+                continue;
+            }
+            if let Some(g) = p.rect.intersection(&d.rect) {
+                if !covered(g, &buried) {
+                    gates.push((g, pi));
+                }
+            }
+        }
+    }
+    gates.sort_by_key(|&(g, _)| g);
+    gates.dedup_by_key(|&mut (g, _)| g);
+
+    let gate_rects: Vec<Rect> = gates.iter().map(|&(g, _)| g).collect();
+    let mut channel_pieces: Vec<Piece> = Vec::new();
+    for d in diff {
+        for r in d.rect.subtract(&gate_rects) {
+            if !r.is_degenerate() {
+                channel_pieces.push(Piece {
+                    layer: Layer::Diffusion,
+                    rect: r,
+                    label: d.label.clone(),
+                });
+            }
+        }
+    }
+    let diff = channel_pieces;
+
+    let mut pieces: Vec<Piece> = Vec::new();
+    pieces.extend(poly);
+    let poly_range = 0..pieces.len();
+    pieces.extend(diff);
+    let diff_range = poly_range.end..pieces.len();
+    pieces.extend(metal);
+    let metal_range = diff_range.end..pieces.len();
+
+    let mut uf = UnionFind::new(pieces.len());
+
+    // Same-layer touching rects connect (full pairwise scan).
+    for i in 0..pieces.len() {
+        for j in i + 1..pieces.len() {
+            if pieces[i].layer == pieces[j].layer && pieces[i].rect.touches(&pieces[j].rect) {
+                uf.union(i, j);
+            }
+        }
+    }
+
+    for c in &contacts {
+        let mut first: Option<usize> = None;
+        for range in [poly_range.clone(), diff_range.clone(), metal_range.clone()] {
+            for i in range {
+                if pieces[i].rect.overlaps(c) {
+                    match first {
+                        None => first = Some(i),
+                        Some(f) => uf.union(f, i),
+                    }
+                }
+            }
+        }
+    }
+
+    for b in &buried {
+        let mut first: Option<usize> = None;
+        for range in [poly_range.clone(), diff_range.clone()] {
+            for i in range {
+                if pieces[i].rect.overlaps(b) {
+                    match first {
+                        None => first = Some(i),
+                        Some(f) => uf.union(f, i),
+                    }
+                }
+            }
+        }
+    }
+
+    let mut root_to_net: HashMap<usize, NetId> = HashMap::new();
+    let mut names: Vec<Option<String>> = Vec::new();
+    for i in 0..pieces.len() {
+        let root = uf.find(i);
+        let next = NetId(root_to_net.len() as u32);
+        let id = *root_to_net.entry(root).or_insert(next);
+        if id.0 as usize == names.len() {
+            names.push(None);
+        }
+        if names[id.0 as usize].is_none() {
+            names[id.0 as usize] = pieces[i].label.clone();
+        }
+    }
+
+    let net_of = |uf: &mut UnionFind, i: usize| -> NetId { root_to_net[&uf.find(i)] };
+
+    let mut terminals: Vec<(String, NetId)> = Vec::new();
+    for b in lib.flat_bristles(top) {
+        let hit = pieces
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.layer == b.layer && p.rect.contains(b.pos));
+        if let Some((i, _)) = hit {
+            let id = net_of(&mut uf, i);
+            if names[id.0 as usize].is_none() {
+                names[id.0 as usize] = Some(b.name.clone());
+            }
+            terminals.push((b.name.clone(), id));
+        }
+    }
+
+    let mut transistors = Vec::new();
+    for &(g, poly_piece) in &gates {
+        let gate_net = net_of(&mut uf, poly_piece);
+        let mut sd: Vec<NetId> = Vec::new();
+        for (j, p) in pieces.iter().enumerate() {
+            if p.layer == Layer::Diffusion && p.rect.touches(&g) {
+                let id = net_of(&mut uf, j);
+                if !sd.contains(&id) {
+                    sd.push(id);
+                }
+            }
+        }
+        sd.sort_unstable();
+        let (source, drain) = match sd.as_slice() {
+            [] => continue,
+            [only] => (*only, *only),
+            [a, b, ..] => (*a, *b),
+        };
+        let kind = if implants.iter().any(|imp| imp.overlaps(&g)) {
+            TransistorKind::Depletion
+        } else {
+            TransistorKind::Enhancement
+        };
+        let vertical = pieces
+            .iter()
+            .any(|p| p.layer == Layer::Diffusion && p.rect.touches(&g) && {
+                let r = p.rect;
+                r.x0 < g.x1 && g.x0 < r.x1 && (r.y1 == g.y0 || r.y0 == g.y1)
+            });
+        let (width, length) = if vertical {
+            (g.width(), g.height())
+        } else {
+            (g.height(), g.width())
+        };
+        transistors.push(Transistor {
+            kind,
+            gate: gate_net,
+            source,
+            drain,
+            region: g,
+            width,
+            length,
+        });
+    }
+    transistors.sort_by_key(|t| t.region);
+
+    let net_names = names
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| n.unwrap_or_else(|| format!("n{i}")))
+        .collect();
+
+    Netlist {
+        net_names,
+        transistors,
+        terminals,
+    }
 }
 
 #[cfg(test)]
@@ -555,6 +826,46 @@ mod tests {
         assert_eq!(n.net_count(), 1);
         assert_eq!(n.net_names[0], "bus_tap");
         assert_eq!(n.terminal_net("bus_tap"), Some(NetId(0)));
+    }
+
+    #[test]
+    fn indexed_extract_matches_reference_on_hierarchy() {
+        use bristle_geom::{Orientation, Transform};
+        // A leaf with a transistor, labels and a bristle, instanced with
+        // rotations and overlapping metal straps — the indexed pipeline
+        // must reproduce the naive reference netlist exactly.
+        let mut lib = Library::new("t");
+        let mut leaf = Cell::new("leaf");
+        leaf.push_shape(Shape::rect(Layer::Diffusion, Rect::new(0, -4, 2, 6)));
+        leaf.push_shape(Shape::rect(Layer::Poly, Rect::new(-2, 0, 4, 2)).with_label("g"));
+        leaf.push_shape(Shape::rect(Layer::Metal, Rect::new(0, -8, 2, -4)).with_label("m"));
+        leaf.push_shape(Shape::rect(Layer::Contact, Rect::new(0, -6, 2, -5)));
+        leaf.push_bristle(Bristle::new(
+            "tap",
+            Layer::Metal,
+            Point::new(1, -6),
+            Side::South,
+            Flavor::Signal,
+        ));
+        let lid = lib.add_cell(leaf).unwrap();
+        let mut top = Cell::new("top");
+        top.push_shape(Shape::rect(Layer::Metal, Rect::new(-20, -8, 40, -4)).with_label("bus"));
+        let tid = lib.add_cell(top).unwrap();
+        for i in 0..4i64 {
+            lib.add_instance(
+                tid,
+                lid,
+                format!("u{i}"),
+                Transform::new(
+                    Orientation::ALL[(i as usize) % 4],
+                    Point::new(12 * i, 0),
+                ),
+            )
+            .unwrap();
+        }
+        let fast = extract(&lib, tid);
+        let slow = extract_reference(&lib, tid);
+        assert_eq!(fast, slow);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! * [`Orientation`] and [`Transform`] — the 8-element dihedral symmetry
 //!   group of the Manhattan plane plus translation,
 //! * [`Layer`] — the nMOS mask layers with their CIF names,
-//! * [`RectIndex`] — a binned spatial index used by DRC and extraction.
+//! * [`RectIndex`] — a binned spatial index used by DRC and extraction,
+//!   with an allocation-free stamped-dedup query path ([`QueryScratch`]),
+//! * [`par`] — deterministic scoped-thread parallel maps for the
+//!   embarrassingly parallel DRC/extraction outer loops.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod layer;
+pub mod par;
 mod path;
 mod point;
 mod polygon;
@@ -41,11 +45,12 @@ mod rect_index;
 mod transform;
 
 pub use layer::Layer;
+pub use par::{par_chunks, par_map};
 pub use path::Path;
 pub use point::Point;
 pub use polygon::Polygon;
 pub use rect::Rect;
-pub use rect_index::RectIndex;
+pub use rect_index::{QueryScratch, RectIndex};
 pub use transform::{Orientation, Transform};
 
 /// Physical size of one λ in CIF centimicrons (10⁻⁸ m).

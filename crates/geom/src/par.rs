@@ -1,0 +1,132 @@
+//! Minimal deterministic data-parallelism helpers.
+//!
+//! The geometry back-end passes (DRC, extraction) have embarrassingly
+//! parallel outer loops. This workspace carries no external dependencies,
+//! so instead of rayon we provide two small scoped-thread helpers. Both
+//! return results **in input order**, so parallel callers merge
+//! deterministically — a hard requirement for byte-identical netlists and
+//! violation reports.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Number of worker threads to use for `n` items.
+fn workers_for(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    hw.min(n)
+}
+
+/// Applies `f` to every item, in parallel, returning results in input
+/// order. Scheduling is dynamic (an atomic work counter), so uneven item
+/// costs balance well; determinism comes from writing each result into
+/// its input slot.
+///
+/// Falls back to a serial loop for small inputs or single-core hosts.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with_workers(workers_for(items.len()), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (also exercised by tests,
+/// which must cover the threaded path even on single-core hosts).
+fn par_map_with_workers<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let slots: Vec<OnceLock<R>> = (0..items.len()).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let _ = slots[i].set(f(i, item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+/// Splits `items` into at most `workers_for(len)` contiguous chunks,
+/// applies `f` to each chunk in parallel, and returns the chunk results
+/// in order. `f` receives the chunk's offset into `items` so ids can stay
+/// global. Useful when each worker wants chunk-local scratch state.
+pub fn par_chunks<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let workers = workers_for(items.len());
+    if workers <= 1 {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        return vec![f(0, items)];
+    }
+    let chunk = items.len().div_ceil(workers);
+    let bounds: Vec<(usize, &[T])> = items
+        .chunks(chunk)
+        .enumerate()
+        .map(|(k, c)| (k * chunk, c))
+        .collect();
+    par_map(&bounds, |_, &(off, c)| f(off, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<i64> = (0..257).collect();
+        let out = par_map(&items, |i, &x| x * 2 + i as i64);
+        let want: Vec<i64> = items.iter().enumerate().map(|(i, &x)| x * 2 + i as i64).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn threaded_path_matches_serial() {
+        // Force real worker threads regardless of host core count.
+        let items: Vec<i64> = (0..1023).collect();
+        let serial = par_map_with_workers(1, &items, |i, &x| x * 3 - i as i64);
+        for workers in [2, 4, 8] {
+            let threaded = par_map_with_workers(workers, &items, |i, &x| x * 3 - i as i64);
+            assert_eq!(threaded, serial, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert_eq!(par_map::<i64, i64, _>(&[], |_, &x| x), Vec::<i64>::new());
+        assert_eq!(par_map(&[7i64], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_chunks_cover_all_items_in_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let chunked = par_chunks(&items, |off, c| {
+            c.iter()
+                .enumerate()
+                .map(|(k, &x)| {
+                    assert_eq!(off + k, x, "offset must be global");
+                    x
+                })
+                .collect::<Vec<_>>()
+        });
+        let flat: Vec<usize> = chunked.into_iter().flatten().collect();
+        assert_eq!(flat, items);
+    }
+}

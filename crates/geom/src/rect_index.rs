@@ -3,10 +3,70 @@
 //! DRC and extraction repeatedly ask "which shapes are near this one?".
 //! A uniform-bin index is ample for chip-sized rectangle sets and keeps
 //! the implementation transparent.
-
-use std::collections::HashSet;
+//!
+//! The index is the universal backbone of the flatten-once geometry
+//! pipeline: build it once per layer ([`RectIndex::bulk_build`] picks a
+//! bin size from the data), then run many queries. Hot loops should use
+//! [`RectIndex::query_with`] with a reusable [`QueryScratch`] — a
+//! stamped-deduplication path that performs no per-query allocation once
+//! the scratch has warmed up.
 
 use crate::Rect;
+
+/// Reusable per-thread scratch state for [`RectIndex::query_with`].
+///
+/// Queries visit every bin the window covers; a rectangle spanning
+/// several bins appears in each of them, so the query must deduplicate.
+/// Instead of a per-query hash set, the scratch keeps one stamp per
+/// stored slot and a monotonically increasing epoch: a slot is fresh for
+/// this query iff its stamp differs from the current epoch. After warmup
+/// (one allocation sized to the index), queries allocate nothing.
+///
+/// A single scratch may be reused across indexes of different sizes; it
+/// grows to the largest index it has served.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    /// `stamp[slot] == epoch` iff the slot was already seen this query.
+    stamp: Vec<u32>,
+    /// Current query epoch; bumped by every `begin`.
+    epoch: u32,
+    /// Slots collected this query, sorted before yielding.
+    slots: Vec<u32>,
+}
+
+impl QueryScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> QueryScratch {
+        QueryScratch::default()
+    }
+
+    /// Prepares for a query against an index holding `n` slots.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        // On epoch wraparound every stamp could spuriously equal the new
+        // epoch; clear once every 2³² queries to stay correct.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.slots.clear();
+    }
+
+    /// Marks a slot; true if it was not yet seen this query.
+    fn mark(&mut self, slot: u32) -> bool {
+        let s = &mut self.stamp[slot as usize];
+        if *s == self.epoch {
+            false
+        } else {
+            *s = self.epoch;
+            true
+        }
+    }
+}
 
 /// A uniform-grid spatial index mapping bins to rectangle ids.
 ///
@@ -48,6 +108,39 @@ impl RectIndex {
         }
     }
 
+    /// Builds an index from a rectangle set in one pass, choosing the bin
+    /// size from the data: roughly the mean side length of the input,
+    /// clamped to a sane range. This keeps bin occupancy near one shape
+    /// per bin across workloads from 2λ contacts to wide power rails.
+    #[must_use]
+    pub fn bulk_build(rects: impl IntoIterator<Item = (usize, Rect)>) -> RectIndex {
+        let items: Vec<(usize, Rect)> = rects.into_iter().collect();
+        let bin = if items.is_empty() {
+            16
+        } else {
+            let sum: i64 = items
+                .iter()
+                .map(|&(_, r)| (r.width() + r.height()) / 2)
+                .sum();
+            (sum / items.len() as i64).clamp(8, 128)
+        };
+        let mut idx = RectIndex {
+            bin,
+            items: Vec::with_capacity(items.len()),
+            bins: std::collections::HashMap::with_capacity(items.len()),
+        };
+        for (id, r) in items {
+            idx.insert(id, r);
+        }
+        idx
+    }
+
+    /// The bin size in λ.
+    #[must_use]
+    pub fn bin_size(&self) -> i64 {
+        self.bin
+    }
+
     /// Number of rectangles stored.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -82,26 +175,65 @@ impl RectIndex {
     /// All rectangles whose bounding boxes **touch** the query window
     /// (overlap or share an edge/corner). Each stored rectangle is yielded
     /// at most once, in insertion order.
+    ///
+    /// Allocates per query; hot loops should prefer
+    /// [`RectIndex::query_with`] and a reused [`QueryScratch`].
     pub fn query(&self, window: Rect) -> impl Iterator<Item = (usize, Rect)> + '_ {
+        let mut scratch = QueryScratch::new();
+        let mut hits: Vec<(usize, Rect)> = Vec::new();
+        self.query_with(window, &mut scratch, |id, r| hits.push((id, r)));
+        hits.into_iter()
+    }
+
+    /// Stamped-dedup query: calls `f(id, rect)` for every stored rectangle
+    /// that touches `window`, in insertion order, deduplicating via
+    /// `scratch` without allocating (after scratch warmup).
+    pub fn query_with(
+        &self,
+        window: Rect,
+        scratch: &mut QueryScratch,
+        mut f: impl FnMut(usize, Rect),
+    ) {
+        scratch.begin(self.items.len());
         let ((bx0, by0), (bx1, by1)) = self.bin_range(&window);
-        let mut seen: HashSet<u32> = HashSet::new();
-        let mut slots: Vec<u32> = Vec::new();
         for bx in bx0..=bx1 {
             for by in by0..=by1 {
                 if let Some(v) = self.bins.get(&(bx, by)) {
                     for &s in v {
-                        if seen.insert(s) {
-                            slots.push(s);
+                        if scratch.mark(s) {
+                            scratch.slots.push(s);
                         }
                     }
                 }
             }
         }
-        slots.sort_unstable();
-        slots.into_iter().filter_map(move |s| {
+        scratch.slots.sort_unstable();
+        for &s in &scratch.slots {
             let (id, r) = self.items[s as usize];
-            r.touches(&window).then_some((id, r))
-        })
+            if r.touches(&window) {
+                f(id, r);
+            }
+        }
+    }
+
+    /// The **earliest-inserted** match: the first rectangle in insertion
+    /// order that touches `window` and satisfies `pred`, with its id.
+    /// (When ids are inserted in ascending order — as the extraction and
+    /// DRC pipelines do — this is also the smallest matching id.) A
+    /// scratch-based point/area probe for terminal lookup.
+    pub fn first_match(
+        &self,
+        window: Rect,
+        scratch: &mut QueryScratch,
+        mut pred: impl FnMut(usize, Rect) -> bool,
+    ) -> Option<(usize, Rect)> {
+        let mut found: Option<(usize, Rect)> = None;
+        self.query_with(window, scratch, |id, r| {
+            if found.is_none() && pred(id, r) {
+                found = Some((id, r));
+            }
+        });
+        found
     }
 
     /// Iterates over all stored `(id, rect)` pairs in insertion order.
@@ -156,5 +288,60 @@ mod tests {
     #[should_panic(expected = "bin size must be positive")]
     fn zero_bin_panics() {
         let _ = RectIndex::new(0);
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        let rects = [
+            Rect::new(0, 0, 4, 4),
+            Rect::new(4, 0, 8, 4),
+            Rect::new(-30, 2, -26, 40),
+            Rect::new(100, 100, 160, 104),
+        ];
+        let bulk = RectIndex::bulk_build(rects.iter().copied().enumerate());
+        let mut inc = RectIndex::new(bulk.bin_size());
+        for (i, r) in rects.iter().enumerate() {
+            inc.insert(i, *r);
+        }
+        for window in [
+            Rect::new(0, 0, 8, 8),
+            Rect::new(-40, -40, 200, 200),
+            Rect::new(99, 99, 101, 101),
+        ] {
+            let a: Vec<_> = bulk.query(window).collect();
+            let b: Vec<_> = inc.query(window).collect();
+            assert_eq!(a, b, "window {window}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_and_indexes() {
+        let mut small = RectIndex::new(8);
+        small.insert(0, Rect::new(0, 0, 2, 2));
+        let mut big = RectIndex::new(8);
+        for i in 0..100 {
+            big.insert(i, Rect::new(3 * i as i64, 0, 3 * i as i64 + 2, 2));
+        }
+        let mut scratch = QueryScratch::new();
+        for _ in 0..3 {
+            let mut hits = 0;
+            small.query_with(Rect::new(0, 0, 2, 2), &mut scratch, |_, _| hits += 1);
+            assert_eq!(hits, 1);
+            let mut hits = 0;
+            big.query_with(Rect::new(0, 0, 300, 2), &mut scratch, |_, _| hits += 1);
+            assert_eq!(hits, 100);
+        }
+    }
+
+    #[test]
+    fn first_match_returns_lowest_id() {
+        let mut idx = RectIndex::new(8);
+        idx.insert(5, Rect::new(0, 0, 10, 10));
+        idx.insert(2, Rect::new(0, 0, 10, 10));
+        let mut scratch = QueryScratch::new();
+        // Insertion order, not id order: slot for id 5 precedes id 2, but
+        // ids sort by slot, so the first yielded is id 5 (inserted first).
+        let hit = idx.first_match(Rect::new(1, 1, 2, 2), &mut scratch, |_, _| true);
+        assert_eq!(hit.map(|(i, _)| i), Some(5));
     }
 }

@@ -1,0 +1,131 @@
+//! Property tests: `RectIndex` queries (both the allocating iterator and
+//! the stamped-dedup scratch path) agree with a brute-force O(n²) oracle
+//! on random rectangle soups.
+//!
+//! Randomized with a deterministic xorshift generator (no external
+//! dependencies are available in this workspace).
+
+use bristle_geom::{QueryScratch, Rect, RectIndex};
+
+/// Deterministic xorshift64* PRNG for dependency-free property tests.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+}
+
+/// A random soup mixing small contacts, mid-size shapes and long skinny
+/// wires (the shapes DRC/extraction actually see).
+fn arb_soup(rng: &mut Rng, n: usize) -> Vec<Rect> {
+    (0..n)
+        .map(|_| {
+            let x = rng.range(-200, 200);
+            let y = rng.range(-200, 200);
+            let (w, h) = match rng.range(0, 3) {
+                0 => (rng.range(1, 4), rng.range(1, 4)),
+                1 => (rng.range(2, 30), rng.range(2, 30)),
+                _ => (rng.range(40, 160), rng.range(1, 5)),
+            };
+            Rect::new(x, y, x + w, y + h)
+        })
+        .collect()
+}
+
+fn oracle(soup: &[Rect], window: Rect) -> Vec<(usize, Rect)> {
+    soup.iter()
+        .copied()
+        .enumerate()
+        .filter(|(_, r)| r.touches(&window))
+        .collect()
+}
+
+#[test]
+fn query_matches_oracle() {
+    let mut rng = Rng::new(0x1D40_0001);
+    for case in 0..40 {
+        let soup = arb_soup(&mut rng, 60);
+        let mut idx = RectIndex::new([4, 8, 16, 64][case % 4]);
+        for (i, r) in soup.iter().enumerate() {
+            idx.insert(i, *r);
+        }
+        for _ in 0..20 {
+            let x = rng.range(-250, 250);
+            let y = rng.range(-250, 250);
+            let window = Rect::new(x, y, x + rng.range(1, 120), y + rng.range(1, 120));
+            let got: Vec<_> = idx.query(window).collect();
+            assert_eq!(got, oracle(&soup, window), "case {case} window {window}");
+        }
+    }
+}
+
+#[test]
+fn stamped_dedup_path_matches_oracle() {
+    let mut rng = Rng::new(0x1D40_0002);
+    // One scratch reused across every index and query — the stamped
+    // epoch must never leak hits between queries.
+    let mut scratch = QueryScratch::new();
+    for case in 0..40 {
+        let soup = arb_soup(&mut rng, 80);
+        let idx = RectIndex::bulk_build(soup.iter().copied().enumerate());
+        for _ in 0..20 {
+            let x = rng.range(-250, 250);
+            let y = rng.range(-250, 250);
+            let window = Rect::new(x, y, x + rng.range(1, 120), y + rng.range(1, 120));
+            let mut got: Vec<(usize, Rect)> = Vec::new();
+            idx.query_with(window, &mut scratch, |i, r| got.push((i, r)));
+            assert_eq!(got, oracle(&soup, window), "case {case} window {window}");
+        }
+    }
+}
+
+#[test]
+fn degenerate_point_windows_match_oracle() {
+    let mut rng = Rng::new(0x1D40_0003);
+    let mut scratch = QueryScratch::new();
+    for case in 0..40 {
+        let soup = arb_soup(&mut rng, 50);
+        let idx = RectIndex::bulk_build(soup.iter().copied().enumerate());
+        for _ in 0..30 {
+            let p = (rng.range(-220, 220), rng.range(-220, 220));
+            let window = Rect::new(p.0, p.1, p.0, p.1);
+            let mut got: Vec<(usize, Rect)> = Vec::new();
+            idx.query_with(window, &mut scratch, |i, r| got.push((i, r)));
+            assert_eq!(got, oracle(&soup, window), "case {case} point {p:?}");
+        }
+    }
+}
+
+#[test]
+fn first_match_agrees_with_oracle_minimum() {
+    let mut rng = Rng::new(0x1D40_0004);
+    let mut scratch = QueryScratch::new();
+    for case in 0..40 {
+        let soup = arb_soup(&mut rng, 60);
+        let idx = RectIndex::bulk_build(soup.iter().copied().enumerate());
+        for _ in 0..20 {
+            let x = rng.range(-250, 250);
+            let y = rng.range(-250, 250);
+            let window = Rect::new(x, y, x + rng.range(1, 60), y + rng.range(1, 60));
+            let got = idx.first_match(window, &mut scratch, |_, r| r.area() > 50);
+            let want = oracle(&soup, window)
+                .into_iter()
+                .find(|&(_, r)| r.area() > 50);
+            assert_eq!(got, want, "case {case} window {window}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Regression tests pinning the indexed/parallel extraction pipeline to
+//! the exact netlists the naive pre-index extractor produces — the
+//! "identical netlist" guarantee of the flatten-once rework.
+
+use bristle_bench::{compile, reference_specs};
+use bristle_blocks::extract::extract;
+
+/// The indexed extractor must equal the naive reference — net names,
+/// transistors (kind, nets, geometry, W/L) and terminals, byte for byte —
+/// on the full cpu16 reference chip.
+#[test]
+fn cpu16_netlist_identical_to_reference_extractor() {
+    let spec = &reference_specs()[3];
+    assert_eq!(spec.name, "cpu16");
+    let chip = compile(spec).unwrap();
+    let fast = extract(&chip.lib, chip.core_cell);
+    let slow = bristle_blocks::extract::extract_reference(&chip.lib, chip.core_cell);
+    assert_eq!(fast.net_names, slow.net_names, "net names/order must match");
+    assert_eq!(fast.transistors, slow.transistors, "devices must match");
+    assert_eq!(fast.terminals, slow.terminals, "terminals must match");
+}
+
+/// Golden snapshot of the cpu16 netlist shape: guards against silent
+/// connectivity drift that the reference comparison alone would miss if
+/// both implementations changed together.
+#[test]
+fn cpu16_netlist_golden_counts() {
+    let chip = compile(&reference_specs()[3]).unwrap();
+    let n = extract(&chip.lib, chip.core_cell);
+    assert_eq!(n.net_count(), 1552, "net count");
+    assert_eq!(n.transistors.len(), 1008, "transistor count");
+    assert_eq!(n.terminals.len(), 3792, "terminal count");
+    // Spot checks: the precharged core is all-enhancement (no static
+    // pull-ups), and every device has sane channel geometry.
+    assert!(
+        n.transistors
+            .iter()
+            .all(|t| t.kind == bristle_blocks::extract::TransistorKind::Enhancement),
+        "precharged cpu16 core must contain only enhancement devices"
+    );
+    assert!(
+        n.transistors.iter().all(|t| t.width > 0 && t.length > 0),
+        "every channel must have positive W and L"
+    );
+    // Extraction must be deterministic call to call.
+    let again = extract(&chip.lib, chip.core_cell);
+    assert_eq!(n, again, "extraction must be deterministic");
+}
+
+/// The remaining reference chips stay identical too (fast, so all three).
+#[test]
+fn smaller_reference_chips_identical_to_reference_extractor() {
+    for spec in &reference_specs()[..3] {
+        let chip = compile(spec).unwrap();
+        let fast = extract(&chip.lib, chip.core_cell);
+        let slow = bristle_blocks::extract::extract_reference(&chip.lib, chip.core_cell);
+        assert_eq!(fast, slow, "{} netlist must match reference", spec.name);
+    }
+}

@@ -1,62 +1,83 @@
 //! Property tests for the instruction-decoder pipeline: optimization and
 //! the two-tape Turing machine never change the decode function.
+//!
+//! Randomized with a deterministic xorshift generator (no external
+//! dependencies are available in this workspace).
 
 use bristle_blocks::pla::{compile_on_tape, Cube, DecodeSpec};
-use proptest::prelude::*;
 
-fn arb_cube() -> impl Strategy<Value = Cube> {
+mod common;
+use common::Rng;
+
+fn arb_cube(rng: &mut Rng) -> Cube {
     // 10-bit space keeps exhaustive equivalence cheap.
-    (0u64..1024, 0u64..1024).prop_map(|(care, v)| Cube {
-        care,
-        value: v & care,
-    })
+    let care = rng.range_u64(0, 1024);
+    let value = rng.range_u64(0, 1024) & care;
+    Cube { care, value }
 }
 
-fn arb_spec() -> impl Strategy<Value = DecodeSpec> {
-    proptest::collection::vec(proptest::collection::vec(arb_cube(), 1..4), 1..6).prop_map(
-        |lines| {
-            let mut spec = DecodeSpec::new(10);
-            for (i, cubes) in lines.into_iter().enumerate() {
-                spec.add_line(format!("c{i}"), cubes);
-            }
-            spec
-        },
-    )
+fn arb_spec(rng: &mut Rng) -> DecodeSpec {
+    let mut spec = DecodeSpec::new(10);
+    for i in 0..rng.range(1, 6) {
+        let cubes: Vec<Cube> = (0..rng.range(1, 4)).map(|_| arb_cube(rng)).collect();
+        spec.add_line(format!("c{i}"), cubes);
+    }
+    spec
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn optimizer_preserves_function(spec in arb_spec()) {
+#[test]
+fn optimizer_preserves_function() {
+    let mut rng = Rng::new(0x91A0_0001);
+    for case in 0..48 {
+        let spec = arb_spec(&mut rng);
         let original = spec.to_pla();
         let mut optimized = original.clone();
         optimized.optimize();
-        prop_assert!(optimized.terms().len() <= original.terms().len());
-        prop_assert!(optimized.equivalent(&original, 12));
+        assert!(
+            optimized.terms().len() <= original.terms().len(),
+            "case {case}"
+        );
+        assert!(optimized.equivalent(&original, 12), "case {case}");
     }
+}
 
-    #[test]
-    fn tape_machine_preserves_function(spec in arb_spec()) {
+#[test]
+fn tape_machine_preserves_function() {
+    let mut rng = Rng::new(0x91A0_0002);
+    for case in 0..48 {
+        let spec = arb_spec(&mut rng);
         let direct = spec.to_pla();
         let (compiled, steps) = compile_on_tape(&spec);
-        prop_assert!(steps > 0);
-        prop_assert!(compiled.equivalent(&direct, 12));
+        assert!(steps > 0, "case {case}");
+        assert!(compiled.equivalent(&direct, 12), "case {case}");
     }
+}
 
-    #[test]
-    fn shared_terms_never_exceed_inputs(spec in arb_spec()) {
+#[test]
+fn shared_terms_never_exceed_inputs() {
+    let mut rng = Rng::new(0x91A0_0003);
+    for case in 0..48 {
+        let spec = arb_spec(&mut rng);
         let (pla, _) = compile_on_tape(&spec);
         let total_cubes: usize = spec.lines().iter().map(|l| l.cubes.len()).sum();
-        prop_assert!(pla.terms().len() <= total_cubes);
+        assert!(pla.terms().len() <= total_cubes, "case {case}");
     }
+}
 
-    #[test]
-    fn eval_matches_cube_semantics(spec in arb_spec(), word in 0u64..1024) {
+#[test]
+fn eval_matches_cube_semantics() {
+    let mut rng = Rng::new(0x91A0_0004);
+    for case in 0..48 {
+        let spec = arb_spec(&mut rng);
+        let word = rng.range_u64(0, 1024);
         let pla = spec.to_pla();
         for line in spec.lines() {
             let want = line.cubes.iter().any(|c| c.matches(word));
-            prop_assert_eq!(pla.eval_output(word, &line.name), Some(want));
+            assert_eq!(
+                pla.eval_output(word, &line.name),
+                Some(want),
+                "case {case} word {word}"
+            );
         }
     }
 }

@@ -1,11 +1,18 @@
 //! Property tests for the paper's central "painless operation":
 //! stretching preserves design rules, connectivity and device structure.
+//!
+//! Randomized with a deterministic xorshift generator (no external
+//! dependencies are available in this workspace).
+
+use std::collections::BTreeSet;
 
 use bristle_blocks::cell::{stretch, Cell, Library, Shape};
 use bristle_blocks::drc::{check_flat, RuleSet};
 use bristle_blocks::extract::extract;
 use bristle_blocks::geom::{Axis, Layer, Rect};
-use proptest::prelude::*;
+
+mod common;
+use common::Rng;
 
 /// A randomized-but-legal cell: a transistor pair plus wiring, with a
 /// stretch line between the devices.
@@ -26,35 +33,43 @@ fn testbed(gap: i64) -> (Library, bristle_blocks::cell::CellId) {
     (lib, id)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn stretching_preserves_drc(extra in 0i64..200) {
+#[test]
+fn stretching_preserves_drc() {
+    let mut rng = Rng::new(0x57E7_0001);
+    for case in 0..64 {
+        let extra = rng.range(0, 200);
         let (mut lib, id) = testbed(4);
         let before = lib.bbox(id).unwrap().height();
         stretch::stretch_to(&mut lib, id, Axis::Y, before + extra).unwrap();
         let report = check_flat(&lib, id, &RuleSet::mead_conway());
-        prop_assert!(report.is_clean(), "{report}");
-        prop_assert_eq!(lib.bbox(id).unwrap().height(), before + extra);
+        assert!(report.is_clean(), "case {case}: {report}");
+        assert_eq!(lib.bbox(id).unwrap().height(), before + extra, "case {case}");
     }
+}
 
-    #[test]
-    fn stretching_preserves_devices(extra in 0i64..200, gap in 0i64..40) {
+#[test]
+fn stretching_preserves_devices() {
+    let mut rng = Rng::new(0x57E7_0002);
+    for case in 0..64 {
+        let extra = rng.range(0, 200);
+        let gap = rng.range(0, 40);
         let (mut lib, id) = testbed(gap);
         let devices_before = extract(&lib, id).transistors.len();
         let before = lib.bbox(id).unwrap().height();
         stretch::stretch_to(&mut lib, id, Axis::Y, before + extra).unwrap();
         let devices_after = extract(&lib, id).transistors.len();
-        prop_assert_eq!(devices_before, devices_after);
+        assert_eq!(devices_before, devices_after, "case {case}");
     }
+}
 
-    #[test]
-    fn stretch_map_is_monotone_and_gap_preserving(
-        positions in proptest::collection::vec(-100i64..100, 2..20),
-        line in -50i64..50,
-        delta in 0i64..60,
-    ) {
+#[test]
+fn stretch_map_is_monotone_and_gap_preserving() {
+    let mut rng = Rng::new(0x57E7_0003);
+    for case in 0..64 {
+        let n = rng.range(2, 20);
+        let positions: Vec<i64> = (0..n).map(|_| rng.range(-100, 100)).collect();
+        let line = rng.range(-50, 50);
+        let delta = rng.range(0, 60);
         let mut plan = stretch::StretchPlan::new();
         plan.insert(line, delta).unwrap();
         let mut sorted = positions.clone();
@@ -62,21 +77,26 @@ proptest! {
         for w in sorted.windows(2) {
             let (a, b) = (w[0], w[1]);
             // Monotone and never compressing.
-            prop_assert!(plan.map(b) - plan.map(a) >= b - a);
+            assert!(plan.map(b) - plan.map(a) >= b - a, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn distribute_totals_exactly(
-        lines in proptest::collection::btree_set(-40i64..40, 1..6),
-        total in 0i64..100,
-    ) {
+#[test]
+fn distribute_totals_exactly() {
+    let mut rng = Rng::new(0x57E7_0004);
+    for case in 0..64 {
+        let mut lines: BTreeSet<i64> = BTreeSet::new();
+        for _ in 0..rng.range(1, 6) {
+            lines.insert(rng.range(-40, 40));
+        }
+        let total = rng.range(0, 100);
         let lines: Vec<i64> = lines.into_iter().collect();
         let plan = stretch::StretchPlan::distribute(&lines, total).unwrap();
-        prop_assert_eq!(plan.total(), total);
+        assert_eq!(plan.total(), total, "case {case}");
         // A point beyond every line moves by exactly `total`.
-        prop_assert_eq!(plan.map(1000), 1000 + total);
+        assert_eq!(plan.map(1000), 1000 + total, "case {case}");
         // A point before every line does not move.
-        prop_assert_eq!(plan.map(-1000), -1000);
+        assert_eq!(plan.map(-1000), -1000, "case {case}");
     }
 }
