@@ -29,6 +29,9 @@
 //! * The cache sits behind an `RwLock`, so `&Library` can be shared
 //!   across the scoped-thread parallel DRC/extraction loops; cloning a
 //!   library starts with a cold cache.
+//! * Bristle flattening ([`Library::flat_bristles_shared`]) is memoized
+//!   the same way, in a sibling cache with identical invariants (both
+//!   caches are cleared together).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -316,6 +319,9 @@ pub struct Library {
     /// Memoized subtree-local flat shapes, keyed by cell. Cleared on any
     /// mutation; see the module docs.
     flat_cache: RwLock<HashMap<CellId, Arc<Vec<FlatShape>>>>,
+    /// Memoized subtree-local flat bristles, same invariants as
+    /// `flat_cache` (cleared together with it).
+    bristle_cache: RwLock<HashMap<CellId, Arc<Vec<Bristle>>>>,
 }
 
 impl Clone for Library {
@@ -324,8 +330,9 @@ impl Clone for Library {
             name: self.name.clone(),
             cells: self.cells.clone(),
             by_name: self.by_name.clone(),
-            // The cache is derived data; a clone starts cold.
+            // The caches are derived data; a clone starts cold.
             flat_cache: RwLock::new(HashMap::new()),
+            bristle_cache: RwLock::new(HashMap::new()),
         }
     }
 }
@@ -339,6 +346,7 @@ impl Library {
             cells: Vec::new(),
             by_name: HashMap::new(),
             flat_cache: RwLock::new(HashMap::new()),
+            bristle_cache: RwLock::new(HashMap::new()),
         }
     }
 
@@ -406,6 +414,10 @@ impl Library {
 
     fn invalidate_flat_cache(&self) {
         self.flat_cache.write().expect("flat cache poisoned").clear();
+        self.bristle_cache
+            .write()
+            .expect("bristle cache poisoned")
+            .clear();
     }
 
     /// Drops every memoized flatten entry, releasing the cached
@@ -556,34 +568,57 @@ impl Library {
     /// All bristles of a cell hierarchy in top-cell coordinates, with
     /// instance-path-qualified names (`path/name`).
     ///
+    /// Memoized — see [`Library::flat_bristles_shared`] for the
+    /// zero-copy variant.
+    ///
     /// # Panics
     ///
     /// Panics if `id` did not come from this library.
     #[must_use]
     pub fn flat_bristles(&self, id: CellId) -> Vec<Bristle> {
-        let mut out = Vec::new();
-        self.flat_bristles_into(id, &Transform::IDENTITY, "", &mut out);
-        out
+        self.flat_bristles_shared(id).as_ref().clone()
     }
 
-    fn flat_bristles_into(&self, id: CellId, t: &Transform, path: &str, out: &mut Vec<Bristle>) {
+    /// Flattens a cell's bristles through the memoized cache, sharing
+    /// the result. Entries are subtree-local (names relative to the
+    /// cell, positions in the cell's frame) and composed at parents by
+    /// transforming positions/sides and prefixing the instance name —
+    /// exactly the flatten-cache discipline `flatten_shared` uses, with
+    /// the same invalidation invariants: any mutation entry point
+    /// clears it, `add_cell` keeps it, clones start cold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this library.
+    #[must_use]
+    pub fn flat_bristles_shared(&self, id: CellId) -> Arc<Vec<Bristle>> {
+        if let Some(hit) = self
+            .bristle_cache
+            .read()
+            .expect("bristle cache poisoned")
+            .get(&id)
+        {
+            return Arc::clone(hit);
+        }
         let cell = self.cell(id);
-        for b in cell.bristles() {
-            let mut tb = b.transform(t);
-            if !path.is_empty() {
-                tb.name = format!("{path}/{}", tb.name);
-            }
-            out.push(tb);
-        }
+        let mut out: Vec<Bristle> = cell.bristles().to_vec();
         for inst in cell.instances() {
-            let child_t = t.after(&inst.transform);
-            let child_path = if path.is_empty() {
-                inst.name.clone()
-            } else {
-                format!("{path}/{}", inst.name)
-            };
-            self.flat_bristles_into(inst.cell, &child_t, &child_path, out);
+            let child = self.flat_bristles_shared(inst.cell);
+            out.reserve(child.len());
+            for b in child.iter() {
+                let mut tb = b.transform(&inst.transform);
+                tb.name = format!("{}/{}", inst.name, tb.name);
+                out.push(tb);
+            }
         }
+        let arc = Arc::new(out);
+        Arc::clone(
+            self.bristle_cache
+                .write()
+                .expect("bristle cache poisoned")
+                .entry(id)
+                .or_insert(arc),
+        )
     }
 
     /// Total power requirement of a cell hierarchy in microamps: the
@@ -842,6 +877,120 @@ mod tests {
             .unwrap();
         assert!(lib.flatten(top).len() > count);
         assert_eq!(lib.flatten(top), flatten_reference(&lib, top));
+    }
+
+    /// Reference bristle flatten: the direct recursion the cache must
+    /// match (this was `flat_bristles` before memoization).
+    fn flat_bristles_reference(lib: &Library, id: CellId) -> Vec<Bristle> {
+        fn go(lib: &Library, id: CellId, t: &Transform, path: &str, out: &mut Vec<Bristle>) {
+            for b in lib.cell(id).bristles() {
+                let mut tb = b.transform(t);
+                if !path.is_empty() {
+                    tb.name = format!("{path}/{}", tb.name);
+                }
+                out.push(tb);
+            }
+            for inst in lib.cell(id).instances() {
+                let child_t = t.after(&inst.transform);
+                let child_path = if path.is_empty() {
+                    inst.name.clone()
+                } else {
+                    format!("{path}/{}", inst.name)
+                };
+                go(lib, inst.cell, &child_t, &child_path, out);
+            }
+        }
+        let mut out = Vec::new();
+        go(lib, id, &Transform::IDENTITY, "", &mut out);
+        out
+    }
+
+    /// Like `three_level_library` but with bristles on every level.
+    fn bristled_library() -> (Library, CellId) {
+        let mut lib = Library::new("t");
+        let mut a = leaf("a");
+        a.push_bristle(Bristle::new(
+            "in",
+            Layer::Metal,
+            Point::new(0, 1),
+            Side::West,
+            Flavor::Signal,
+        ));
+        let aid = lib.add_cell(a).unwrap();
+        let mut mid = Cell::new("mid");
+        mid.push_bristle(Bristle::new(
+            "ctl",
+            Layer::Poly,
+            Point::new(3, 0),
+            Side::South,
+            Flavor::Signal,
+        ));
+        let m = lib.add_cell(mid).unwrap();
+        lib.add_instance(m, aid, "u0", Transform::new(Orientation::R90, Point::new(5, 0)))
+            .unwrap();
+        lib.add_instance(m, aid, "u1", Transform::translate(Point::new(0, 9)))
+            .unwrap();
+        let top = lib.add_cell(Cell::new("top")).unwrap();
+        lib.add_instance(
+            top,
+            m,
+            "v0",
+            Transform::new(Orientation::MR180, Point::new(20, 3)),
+        )
+        .unwrap();
+        lib.add_instance(top, aid, "w", Transform::translate(Point::new(-4, -4)))
+            .unwrap();
+        (lib, top)
+    }
+
+    #[test]
+    fn cached_flat_bristles_match_direct_recursion() {
+        let (lib, top) = bristled_library();
+        let want = flat_bristles_reference(&lib, top);
+        assert!(!want.is_empty());
+        assert_eq!(lib.flat_bristles(top), want, "first (cache-filling) call");
+        assert_eq!(lib.flat_bristles(top), want, "second (cached) call");
+        // Subtree entries must also match their own direct flatten.
+        let mid = lib.find("mid").unwrap();
+        assert_eq!(*lib.flat_bristles_shared(mid), flat_bristles_reference(&lib, mid));
+    }
+
+    #[test]
+    fn flat_bristles_shared_reuses_allocation() {
+        let (lib, top) = bristled_library();
+        let a = lib.flat_bristles_shared(top);
+        let b = lib.flat_bristles_shared(top);
+        assert!(Arc::ptr_eq(&a, &b), "cache must hand out the same Arc");
+    }
+
+    #[test]
+    fn mutation_invalidates_bristle_cache() {
+        let (mut lib, top) = bristled_library();
+        let before = lib.flat_bristles(top).len();
+        let a = lib.find("a").unwrap();
+        // `cell_mut` must clear the cache.
+        lib.cell_mut(a).push_bristle(Bristle::new(
+            "extra",
+            Layer::Metal,
+            Point::new(2, 2),
+            Side::East,
+            Flavor::Signal,
+        ));
+        let after = lib.flat_bristles(top);
+        assert_eq!(after, flat_bristles_reference(&lib, top));
+        assert!(after.len() > before);
+        // `add_instance` must clear it too.
+        let count = lib.flat_bristles(top).len();
+        lib.add_instance(top, a, "w2", Transform::translate(Point::new(40, 0)))
+            .unwrap();
+        assert!(lib.flat_bristles(top).len() > count);
+        assert_eq!(lib.flat_bristles(top), flat_bristles_reference(&lib, top));
+        // `clear_flat_cache` clears; recompute still matches.
+        lib.clear_flat_cache();
+        assert_eq!(lib.flat_bristles(top), flat_bristles_reference(&lib, top));
+        // Clones start cold and still agree.
+        let cloned = lib.clone();
+        assert_eq!(cloned.flat_bristles(top), lib.flat_bristles(top));
     }
 
     #[test]

@@ -64,8 +64,11 @@ pub fn render_svg(lib: &Library, top: CellId, opts: &SvgOptions) -> String {
         lib.cell(top).name(),
         bbox
     );
-    // Draw in layer order so metal sits on top of poly on top of diffusion.
-    let flat = lib.flatten(top);
+    // Draw in layer order so metal sits on top of poly on top of
+    // diffusion. Flattening goes through the library's memoized cache,
+    // so rendering after DRC/extraction (or rendering twice) reuses the
+    // already-flattened geometry instead of re-walking the hierarchy.
+    let flat = lib.flatten_shared(top);
     for layer in Layer::ALL {
         for fs in flat.iter().filter(|f| f.shape.layer == layer) {
             let color = layer.color();
@@ -100,7 +103,7 @@ pub fn render_svg(lib: &Library, top: CellId, opts: &SvgOptions) -> String {
         }
     }
     if opts.show_bristles {
-        for b in lib.flat_bristles(top) {
+        for b in lib.flat_bristles_shared(top).iter() {
             let _ = writeln!(
                 out,
                 r##"<circle cx="{:.1}" cy="{:.1}" r="{:.1}" fill="none" stroke="#333" stroke-width="1"><title>{}</title></circle>"##,

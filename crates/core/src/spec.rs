@@ -148,6 +148,16 @@ impl ChipSpecBuilder {
         self
     }
 
+    /// Appends an already-constructed [`ElementSpec`] — the hook spec
+    /// generators use to compose element lists programmatically (the
+    /// differential fuzzer builds, shuffles and prunes element vectors
+    /// before committing them to a builder).
+    #[must_use]
+    pub fn push_element(mut self, element: ElementSpec) -> Self {
+        self.elements.push(element);
+        self
+    }
+
     /// Marks a bus break after the most recent element.
     ///
     /// # Panics
@@ -255,6 +265,24 @@ mod tests {
                 .build(),
             Err(SpecError::TooManyBuses(3))
         ));
+    }
+
+    #[test]
+    fn push_element_matches_element() {
+        let via_helper = ChipSpec::builder("t")
+            .element("registers", &[("count", 3)])
+            .build()
+            .unwrap();
+        let direct = ChipSpec::builder("t")
+            .push_element(ElementSpec {
+                kind: "registers".into(),
+                params: [("count".to_owned(), 3i64)].into_iter().collect(),
+                break_bus_a: false,
+                break_bus_b: false,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(via_helper, direct);
     }
 
     #[test]

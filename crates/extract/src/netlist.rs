@@ -60,10 +60,23 @@ pub struct Transistor {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Netlist {
     /// Net names, indexed by [`NetId`]. Unnamed nets get `n<k>`.
+    ///
+    /// Names come from shape labels and are **not** unique — every bit
+    /// slice of a bus labels its track `BUSA`. Code that needs a specific
+    /// net must resolve it through [`Netlist::terminals`].
     pub net_names: Vec<String>,
     /// Extracted devices.
     pub transistors: Vec<Transistor>,
     /// Bristle terminals: `(qualified bristle name, net)`.
+    ///
+    /// **Stability guarantee:** a terminal's name is the bristle's name
+    /// prefixed with its slash-separated instance path, exactly as
+    /// `Library::flat_bristles` reports it, in flatten (depth-first
+    /// instance) order. For compiler-built cores that means every
+    /// terminal reads `{element}_c{column}_b{bit}/{bristle}` and keeps
+    /// its name across re-extractions, library clones and thread counts —
+    /// which is what lets the differential test bench address signals by
+    /// name. Terminal *order* is deterministic for a given library.
     pub terminals: Vec<(String, NetId)>,
 }
 
@@ -95,6 +108,32 @@ impl Netlist {
     /// Devices whose gate is on `net`.
     pub fn driven_by_gate(&self, net: NetId) -> impl Iterator<Item = &Transistor> {
         self.transistors.iter().filter(move |t| t.gate == net)
+    }
+
+    /// Terminals whose final path segment (the bristle's own name) equals
+    /// `local`, in terminal order. `local` matching is exact:
+    /// `terminals_with_local("ld")` does not match `ld0`.
+    pub fn terminals_with_local<'a>(
+        &'a self,
+        local: &'a str,
+    ) -> impl Iterator<Item = (&'a str, NetId)> + 'a {
+        self.terminals.iter().filter_map(move |(name, id)| {
+            let leaf = name.rsplit('/').next().unwrap_or(name);
+            (leaf == local).then_some((name.as_str(), *id))
+        })
+    }
+
+    /// The nets of every terminal matching `local`, deduplicated, in
+    /// first-seen order.
+    #[must_use]
+    pub fn nets_with_local(&self, local: &str) -> Vec<NetId> {
+        let mut out = Vec::new();
+        for (_, id) in self.terminals_with_local(local) {
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        out
     }
 }
 
@@ -866,6 +905,31 @@ mod tests {
         let fast = extract(&lib, tid);
         let slow = extract_reference(&lib, tid);
         assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn terminals_with_local_is_exact_on_leaf_names() {
+        let n = Netlist {
+            net_names: vec!["a".into(), "b".into()],
+            transistors: vec![],
+            terminals: vec![
+                ("e0_c0_b0/ld".into(), NetId(0)),
+                ("e0_c0_b1/ld".into(), NetId(1)),
+                ("e0_c0_b0/ld0".into(), NetId(1)),
+                ("ld".into(), NetId(0)),
+            ],
+        };
+        let hits: Vec<_> = n.terminals_with_local("ld").collect();
+        assert_eq!(
+            hits,
+            vec![
+                ("e0_c0_b0/ld", NetId(0)),
+                ("e0_c0_b1/ld", NetId(1)),
+                ("ld", NetId(0)),
+            ]
+        );
+        assert_eq!(n.nets_with_local("ld"), vec![NetId(0), NetId(1)]);
+        assert_eq!(n.nets_with_local("missing"), Vec::<NetId>::new());
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod rect_index;
 mod transform;
 
 pub use layer::Layer;
-pub use par::{par_chunks, par_map};
+pub use par::{max_workers, par_chunks, par_map, set_max_workers};
 pub use path::Path;
 pub use point::Point;
 pub use polygon::Polygon;

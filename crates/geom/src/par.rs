@@ -10,9 +10,31 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+/// Global worker-count cap: 0 means "auto" (host parallelism). Settable
+/// so determinism regression tests can pin the serial and threaded
+/// paths against each other on any host.
+static MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the worker count for all `par_*` helpers. `0` restores the
+/// default (one worker per available core). Parallel results are merged
+/// in input order, so this must never change any result — the
+/// determinism regression suite runs the full DRC/extraction pipeline
+/// at 1 and N workers and diffs the outputs byte for byte.
+pub fn set_max_workers(n: usize) {
+    MAX_WORKERS.store(n, Ordering::SeqCst);
+}
+
+/// The current worker cap (0 = auto).
+#[must_use]
+pub fn max_workers() -> usize {
+    MAX_WORKERS.load(Ordering::SeqCst)
+}
+
 /// Number of worker threads to use for `n` items.
 fn workers_for(n: usize) -> usize {
     let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cap = MAX_WORKERS.load(Ordering::SeqCst);
+    let hw = if cap == 0 { hw } else { hw.min(cap) };
     hw.min(n)
 }
 

@@ -15,6 +15,13 @@
 //! [`Microcode`] describes the instruction word format (the first section
 //! of the user's chip description) and is shared with the compiler.
 //!
+//! [`NetlistBridge`] is the adapter between the two worlds: it maps
+//! extracted terminal names (`{element}_c{col}_b{bit}/{signal}`) onto
+//! machine-level signal groups — per-bit bus nets, decoder-driven control
+//! columns, clock columns, storage-plate probes and pad wires — so the
+//! differential test suite can co-simulate compiled silicon against the
+//! functional model cycle by cycle.
+//!
 //! # Examples
 //!
 //! Functional simulation of a register + ALU datapath:
@@ -48,10 +55,14 @@
 #![warn(missing_docs)]
 
 pub mod behaviors;
+mod bridge;
 mod machine;
 mod microcode;
 mod switch;
 
+pub use bridge::{
+    levels_from_word, parse_terminal, word_from_levels, BridgeError, NetlistBridge, TerminalNet,
+};
 pub use machine::{ElementCtx, Behavior, Machine, SimError, TraceEntry};
 pub use microcode::{Microcode, MicrocodeError, MicrocodeField};
 pub use switch::{Level, Strength, SwitchError, SwitchSim};

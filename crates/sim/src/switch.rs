@@ -170,6 +170,47 @@ impl<'a> SwitchSim<'a> {
         Ok(())
     }
 
+    /// Forces a net to a level by id. Net names in extracted netlists are
+    /// not unique (many nets inherit the same shape label), so testbench
+    /// harnesses that resolve nets through terminals drive them by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a net of the bound netlist.
+    pub fn set_net(&mut self, id: NetId, level: Level) {
+        assert!((id.0 as usize) < self.netlist.net_count(), "bad {id}");
+        self.inputs.insert(id, level);
+    }
+
+    /// Stops forcing a net by id; it keeps its charge until redriven.
+    pub fn release_net(&mut self, id: NetId) {
+        self.inputs.remove(&id);
+    }
+
+    /// The level of a net (by id) after the last [`SwitchSim::settle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a net of the bound netlist.
+    #[must_use]
+    pub fn net_level(&self, id: NetId) -> Level {
+        self.state[id.0 as usize].1
+    }
+
+    /// Presets the charge memory of **every** net to `level` — the
+    /// power-on assumption of a simulation run. Fresh simulators start
+    /// all-X, which is the honest electrical answer but means any
+    /// never-written storage node contaminates everything it touches;
+    /// co-simulation harnesses preset all-low so the silicon starts in
+    /// the same state as a freshly built functional [`crate::Machine`]
+    /// (whose registers read 0).
+    pub fn preset_all(&mut self, level: Level) {
+        self.memory.fill(level);
+        for s in &mut self.state {
+            *s = (Strength::Charged, level);
+        }
+    }
+
     /// The level of a net after the last [`SwitchSim::settle`].
     ///
     /// # Errors
@@ -230,6 +271,17 @@ impl<'a> SwitchSim<'a> {
                 };
                 for (from, to) in [(t.source, t.drain), (t.drain, t.source)] {
                     let (src_strength, src_level) = state[from.0 as usize];
+                    // Stored charge never conducts: a merely-charged node
+                    // keeps its level to itself and only driven values
+                    // (rail, input, ratioed) pass through a switch. This
+                    // keeps the relaxation monotone — without it, a stale
+                    // charged level seen through a conducting device in an
+                    // early iteration merges X against an equally-charged
+                    // neighbor and the X sticks even after real drives
+                    // arrive (classic charge-sharing pessimism).
+                    if src_strength == Strength::Charged {
+                        continue;
+                    }
                     // Strength limit through the device.
                     let limit = match t.kind {
                         TransistorKind::Depletion => Strength::Weak,
@@ -446,6 +498,41 @@ mod tests {
             Err(SwitchError::UnknownNet(_))
         ));
         assert!(matches!(sim.level("nope"), Err(SwitchError::UnknownNet(_))));
+    }
+
+    #[test]
+    fn net_id_apis_and_preset() {
+        let n = inverter();
+        let mut sim = SwitchSim::new(&n);
+        // Preset puts every node at a known level (power-on assumption).
+        sim.preset_all(Level::L0);
+        assert_eq!(sim.net_level(NetId(2)), Level::L0);
+        // Drive by id (net names in real extractions are ambiguous).
+        sim.set_net(NetId(3), Level::L0); // in = 0
+        sim.settle().unwrap();
+        assert_eq!(sim.net_level(NetId(2)), Level::L1, "out");
+        // Release by id: the node holds its charge.
+        sim.release_net(NetId(3));
+        sim.settle().unwrap();
+        assert_eq!(sim.net_level(NetId(2)), Level::L1);
+    }
+
+    #[test]
+    fn charge_does_not_conduct_through_switches() {
+        // a(2) -enh(gate=en(3))- b(4): both floating, preset to opposite
+        // levels. Opening the switch must NOT merge them to X — stored
+        // charge is observable only at its own node.
+        let n = netlist(
+            &["VDD", "GND", "a", "en", "b"],
+            vec![t(TransistorKind::Enhancement, 3, 2, 4)],
+        );
+        let mut sim = SwitchSim::new(&n);
+        sim.preset_all(Level::L0);
+        sim.memory[2] = Level::L1; // a charged high, b charged low
+        sim.set_input("en", Level::L1).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.level("a").unwrap(), Level::L1);
+        assert_eq!(sim.level("b").unwrap(), Level::L0);
     }
 
     #[test]

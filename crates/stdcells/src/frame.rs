@@ -417,6 +417,20 @@ impl BitCellSpec {
                         Shape::rect(Layer::Poly, Rect::new(x, t.gnd_y + 1, x + 2, t.bus_b_y - 3))
                             .with_label(name.clone()),
                     );
+                    // Probe bristle: gives the storage node a stable,
+                    // instance-qualified terminal name in extracted
+                    // netlists, which is what lets the differential
+                    // testbench compare dynamic storage against the
+                    // functional model. Placed below the first stretch
+                    // line so alignment stretching never moves it off
+                    // the plate.
+                    cell.push_bristle(Bristle::new(
+                        name.clone(),
+                        Layer::Poly,
+                        Point::new(x + 1, t.gnd_y + 2),
+                        Side::North,
+                        Flavor::Signal,
+                    ));
                 }
                 Slot::Gap => {}
             }

@@ -1,0 +1,335 @@
+//! The differential co-simulation driver.
+//!
+//! For one (spec, program) pair the driver:
+//!
+//! 1. compiles the spec through the full pipeline and extracts the
+//!    datapath core's transistor netlist,
+//! 2. builds the functional [`Machine`] (the SIMULATION representation)
+//!    and a [`NetlistBridge`] over the extracted netlist,
+//! 3. steps both, cycle by cycle, through the program's microcode
+//!    words: the machine via [`Machine::step_word`], the silicon by
+//!    driving the decoded control columns and the φ1/φ2 clock columns
+//!    and settling the switch-level network once per phase,
+//! 4. asserts, every cycle: the physical buses match the prediction
+//!    derived from machine state (φ1), both buses precharge back to
+//!    all-ones (φ2), every register's `storeA`/`storeB` plate words
+//!    equal the machine's registers, and output-port pad words equal
+//!    the machine's pads.
+//!
+//! The silicon is initialized with an explicit power-on preset
+//! (all nodes low) so dynamic storage starts equal to the machine's
+//! all-zero registers; see [`SwitchSim::preset_all`].
+
+use std::fmt;
+
+use bristle_cell::{ControlLine, Flavor, Phase};
+use bristle_core::{ChipSpec, CompileError, CompiledChip, Compiler};
+use bristle_extract::extract;
+use bristle_sim::{BridgeError, Level, NetlistBridge, SimError, SwitchSim};
+
+use crate::fault::Fault;
+use crate::program::Program;
+
+/// Where and how the two simulations disagreed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// 0-based cycle index.
+    pub cycle: usize,
+    /// Which check failed (`"phi1-busA"`, `"phi2-precharge-busB"`,
+    /// `"storeA"`, `"pad_out"`, …).
+    pub check: String,
+    /// The signal involved (element prefix or bus name).
+    pub signal: String,
+    /// The value the functional side predicts.
+    pub expected: u64,
+    /// What the silicon produced (`"X@bit<k>"` for non-binary reads).
+    pub got: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cycle {}: {} of `{}`: expected {:#x}, silicon read {}",
+            self.cycle, self.check, self.signal, self.expected, self.got
+        )
+    }
+}
+
+/// Summary of a passing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CosimStats {
+    /// Cycles executed.
+    pub cycles: usize,
+    /// Nets in the extracted core netlist.
+    pub nets: usize,
+    /// Transistors simulated.
+    pub transistors: usize,
+    /// Individual equivalence checks performed.
+    pub checks: usize,
+}
+
+/// Why a run could not complete or did not agree.
+#[derive(Debug)]
+pub enum CosimError {
+    /// The compiler rejected the spec (a generator/compiler bug).
+    Compile(CompileError),
+    /// The machine could not be assembled or stepped.
+    Sim(SimError),
+    /// Bridge construction or switch-level simulation failed.
+    Bridge(BridgeError),
+    /// The two simulations disagreed.
+    Diverged(Divergence),
+}
+
+impl fmt::Display for CosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CosimError::Compile(e) => write!(f, "compile: {e}"),
+            CosimError::Sim(e) => write!(f, "machine: {e}"),
+            CosimError::Bridge(e) => write!(f, "bridge: {e}"),
+            CosimError::Diverged(d) => write!(f, "diverged: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CosimError {}
+
+impl From<CompileError> for CosimError {
+    fn from(e: CompileError) -> CosimError {
+        CosimError::Compile(e)
+    }
+}
+impl From<SimError> for CosimError {
+    fn from(e: SimError) -> CosimError {
+        CosimError::Sim(e)
+    }
+}
+impl From<BridgeError> for CosimError {
+    fn from(e: BridgeError) -> CosimError {
+        CosimError::Bridge(e)
+    }
+}
+
+/// Per-element control bindings gathered from the compiled layout: the
+/// same (local name, decode spec) pairs the decoder drives.
+fn element_controls(chip: &CompiledChip) -> Vec<(String, Vec<(String, ControlLine)>)> {
+    let mut out = Vec::new();
+    for e in &chip.elements {
+        let mut refs: Vec<(String, ControlLine)> = Vec::new();
+        for &col in &e.columns {
+            for b in chip.lib.cell(col).bristles() {
+                if let Flavor::Control(line) = &b.flavor {
+                    if !refs.iter().any(|(n, _)| *n == b.name) {
+                        refs.push((b.name.clone(), line.clone()));
+                    }
+                }
+            }
+        }
+        out.push((e.prefix.clone(), refs));
+    }
+    out
+}
+
+/// Runs the differential co-simulation; equivalent to
+/// [`run_cosim_with`] without a fault.
+///
+/// # Errors
+///
+/// See [`CosimError`].
+pub fn run_cosim(spec: &ChipSpec, program: &Program) -> Result<CosimStats, CosimError> {
+    run_cosim_with(spec, program, None)
+}
+
+/// Runs the differential co-simulation, optionally injecting a netlist
+/// fault after extraction.
+///
+/// # Errors
+///
+/// See [`CosimError`]; an injected fault is expected to surface as
+/// [`CosimError::Diverged`].
+pub fn run_cosim_with(
+    spec: &ChipSpec,
+    program: &Program,
+    fault: Option<&Fault>,
+) -> Result<CosimStats, CosimError> {
+    let chip = Compiler::new().compile(spec)?;
+    let mut netlist = extract(&chip.lib, chip.core_cell);
+    if let Some(f) = fault {
+        f.apply(&mut netlist);
+    }
+    let mut machine = chip.simulation()?;
+    let controls = element_controls(&chip);
+    let mut bridge = NetlistBridge::new(&netlist, spec.data_width)?;
+    let mask = if spec.data_width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << spec.data_width) - 1
+    };
+
+    // Power-on: all storage low (matching the machine's zeroed registers),
+    // every decoder column and pad driven low, then one φ2 to precharge.
+    bridge.sim.preset_all(Level::L0);
+    for (prefix, refs) in &controls {
+        for (local, _) in refs {
+            // Controls may be missing from the netlist only if a cell has
+            // no geometry for them — that would itself be a bug, so fail.
+            bridge.drive_group(prefix, local, Level::L0)?;
+        }
+    }
+    bridge.drive_word(&program.inport, "pad_in", 0)?;
+    machine.set_pad(format!("{}_pad", program.inport), 0);
+    bridge.drive_clocks("phi1", Level::L0);
+    bridge.drive_clocks("phi2", Level::L1);
+    bridge.settle()?;
+
+    let mut checks = 0usize;
+    for (ci, cycle) in program.cycles.iter().enumerate() {
+        let word = program
+            .encode_cycle(machine.microcode(), cycle)
+            .map_err(SimError::Microcode)?;
+        let diverge = |check: &str, signal: &str, expected: u64, got: &Result<u64, BridgeError>| {
+            CosimError::Diverged(Divergence {
+                cycle: ci,
+                check: check.to_owned(),
+                signal: signal.to_owned(),
+                expected,
+                got: match got {
+                    Ok(v) => format!("{v:#x}"),
+                    Err(e) => format!("({e})"),
+                },
+            })
+        };
+
+        // Pads for this cycle.
+        let pad = cycle.inport.unwrap_or(0);
+        bridge.drive_word(&program.inport, "pad_in", pad)?;
+        machine.set_pad(format!("{}_pad", program.inport), pad);
+
+        // The physical-bus prediction needs the machine's *pre-cycle*
+        // register state (plates hold last cycle's values during φ1).
+        let mut exp_bus_a = mask;
+        let mut exp_bus_b = mask;
+        if cycle.inport.is_some() {
+            exp_bus_a &= pad;
+        }
+        for (prefix, ops) in &cycle.regs {
+            if let Some(r) = ops.read_a {
+                let v = machine.peek(prefix, &format!("r{r}"))?;
+                exp_bus_a &= !v & mask;
+            }
+            if let Some(r) = ops.read_b {
+                let v = machine.peek(prefix, &format!("r{r}"))?;
+                exp_bus_b &= !v & mask;
+            }
+        }
+
+        // φ1: decode-asserted controls up, φ2 clocks down, settle.
+        bridge.drive_clocks("phi2", Level::L0);
+        bridge.drive_clocks("phi1", Level::L1);
+        for (prefix, refs) in &controls {
+            for (local, line) in refs {
+                let field = machine
+                    .microcode()
+                    .extract(word, &line.field)
+                    .map_err(SimError::Microcode)?;
+                let on = line.phase == Phase::Phi1 && line.active.eval(field);
+                bridge.drive_group(prefix, local, Level::from_bool(on))?;
+            }
+        }
+        bridge.settle()?;
+
+        let phys_a = bridge.read_bus(0);
+        if phys_a != Ok(exp_bus_a) {
+            return Err(diverge("phi1-bus", "busA", exp_bus_a, &phys_a));
+        }
+        let phys_b = bridge.read_bus(1);
+        if phys_b != Ok(exp_bus_b) {
+            return Err(diverge("phi1-bus", "busB", exp_bus_b, &phys_b));
+        }
+        checks += 2;
+
+        // Step the functional machine (its step covers φ1 + φ2). On a
+        // pure write cycle the machine's bus A and the silicon's agree
+        // exactly — assert that too (true direct equivalence).
+        let mach_buses = machine.step_word(word)?;
+        if !cycle.has_reads() && cycle.inport.is_some() {
+            if mach_buses[0] != exp_bus_a {
+                return Err(diverge("phi1-machine-bus", "busA", mach_buses[0], &phys_a));
+            }
+            checks += 1;
+        }
+
+        // φ2: controls down except φ2-phase decodes, clocks swap, settle.
+        for (prefix, refs) in &controls {
+            for (local, line) in refs {
+                let field = machine
+                    .microcode()
+                    .extract(word, &line.field)
+                    .map_err(SimError::Microcode)?;
+                let on = line.phase == Phase::Phi2 && line.active.eval(field);
+                bridge.drive_group(prefix, local, Level::from_bool(on))?;
+            }
+        }
+        bridge.drive_clocks("phi1", Level::L0);
+        bridge.drive_clocks("phi2", Level::L1);
+        bridge.settle()?;
+
+        // Precharge restored on both buses.
+        for (bus, name) in [(0usize, "busA"), (1, "busB")] {
+            let got = bridge.read_bus(bus);
+            if got != Ok(mask) {
+                return Err(diverge("phi2-precharge", name, mask, &got));
+            }
+            checks += 1;
+        }
+
+        // Storage equivalence: every register's plates equal the
+        // machine's registers (both plates are written from bus A).
+        for (eidx, e) in spec.elements.iter().enumerate() {
+            if e.kind != "registers" {
+                continue;
+            }
+            let prefix = format!("e{eidx}_{}", e.kind);
+            let count = e.params.get("count").copied().unwrap_or(2) as usize;
+            for r in 0..count {
+                let want = machine.peek(&prefix, &format!("r{r}"))?;
+                for plate in ["storeA", "storeB"] {
+                    let got = bridge.read_column_word(&prefix, plate, r as u32);
+                    if got != Ok(want) {
+                        return Err(diverge(plate, &prefix, want, &got));
+                    }
+                    checks += 1;
+                }
+            }
+        }
+
+        // Pad equivalence: output-port pad wires match machine pads.
+        for p in &program.outports {
+            let Some(want) = machine.pad(&format!("{p}_pad")) else {
+                continue;
+            };
+            let got = bridge.read_word(p, "pad_out");
+            if got != Ok(want) {
+                return Err(diverge("pad_out", p, want, &got));
+            }
+            checks += 1;
+        }
+    }
+
+    Ok(CosimStats {
+        cycles: program.cycles.len(),
+        nets: netlist.net_count(),
+        transistors: netlist.transistors.len(),
+        checks,
+    })
+}
+
+/// Convenience: build a standalone switch simulator over a netlist with
+/// the co-sim power-on preset applied (used by exploratory tests).
+#[must_use]
+pub fn preset_switch_sim(netlist: &bristle_extract::Netlist) -> SwitchSim<'_> {
+    let mut sim = SwitchSim::new(netlist);
+    sim.preset_all(Level::L0);
+    sim
+}

@@ -1,0 +1,143 @@
+//! Fault injection on extracted netlists.
+//!
+//! Faults exist to prove the differential suite can actually see broken
+//! silicon: a fault is applied to the netlist *after* extraction (the
+//! layout and functional model stay intact), the co-simulation must
+//! diverge, and the shrinker must reduce the failing (spec, program)
+//! pair to a minimal reproducer.
+//!
+//! Faults are addressed **semantically** (by terminal-name suffix), not
+//! by device index, so the same fault stays meaningful while the
+//! shrinker rebuilds smaller chips.
+
+use std::fmt;
+
+use bristle_extract::Netlist;
+
+/// A semantic netlist fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Removes the first transistor whose gate net carries a terminal
+    /// whose qualified name ends with this suffix — e.g. `/rda0` opens
+    /// the bit-0 read pull-down of register 0 (an open-circuit defect
+    /// on one device).
+    DropGateDevice(
+        /// Terminal-name suffix selecting the gate net.
+        String,
+    ),
+    /// Shorts a terminal's net to every net carrying a `GND` name —
+    /// modelled as rewriting the terminal's net id onto the first GND
+    /// net (a stuck-at-0 bridge).
+    ShortTerminalToGnd(
+        /// Terminal-name suffix selecting the victim net.
+        String,
+    ),
+}
+
+impl Fault {
+    /// Applies the fault. Returns `false` if nothing matched (the
+    /// shrinker treats a non-applicable fault as a non-failing run).
+    pub fn apply(&self, netlist: &mut Netlist) -> bool {
+        match self {
+            Fault::DropGateDevice(suffix) => {
+                let Some(net) = netlist
+                    .terminals
+                    .iter()
+                    .find(|(n, _)| n.ends_with(suffix.as_str()))
+                    .map(|&(_, id)| id)
+                else {
+                    return false;
+                };
+                let Some(pos) = netlist.transistors.iter().position(|t| t.gate == net) else {
+                    return false;
+                };
+                netlist.transistors.remove(pos);
+                true
+            }
+            Fault::ShortTerminalToGnd(suffix) => {
+                let Some(victim) = netlist
+                    .terminals
+                    .iter()
+                    .find(|(n, _)| n.ends_with(suffix.as_str()))
+                    .map(|&(_, id)| id)
+                else {
+                    return false;
+                };
+                let Some(gnd) = netlist.find_net("GND") else {
+                    return false;
+                };
+                if victim == gnd {
+                    return false;
+                }
+                for t in &mut netlist.transistors {
+                    for n in [&mut t.gate, &mut t.source, &mut t.drain] {
+                        if *n == victim {
+                            *n = gnd;
+                        }
+                    }
+                }
+                for (_, n) in &mut netlist.terminals {
+                    if *n == victim {
+                        *n = gnd;
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::DropGateDevice(s) => write!(f, "drop first device gated by `…{s}`"),
+            Fault::ShortTerminalToGnd(s) => write!(f, "short `…{s}` to GND"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bristle_extract::{NetId, Transistor, TransistorKind};
+    use bristle_geom::Rect;
+
+    fn t(gate: u32, source: u32, drain: u32) -> Transistor {
+        Transistor {
+            kind: TransistorKind::Enhancement,
+            gate: NetId(gate),
+            source: NetId(source),
+            drain: NetId(drain),
+            region: Rect::new(0, 0, 2, 2),
+            width: 2,
+            length: 2,
+        }
+    }
+
+    fn netlist() -> Netlist {
+        Netlist {
+            net_names: vec!["GND".into(), "ctl".into(), "bus".into()],
+            transistors: vec![t(1, 0, 2), t(2, 0, 1)],
+            terminals: vec![("e0_c0_b0/rda0".into(), NetId(1))],
+        }
+    }
+
+    #[test]
+    fn drop_gate_device_removes_one() {
+        let mut n = netlist();
+        assert!(Fault::DropGateDevice("/rda0".into()).apply(&mut n));
+        assert_eq!(n.transistors.len(), 1);
+        // No match: untouched, reported.
+        let mut n2 = netlist();
+        assert!(!Fault::DropGateDevice("/nope".into()).apply(&mut n2));
+        assert_eq!(n2.transistors.len(), 2);
+    }
+
+    #[test]
+    fn short_to_gnd_rewrites_nets() {
+        let mut n = netlist();
+        assert!(Fault::ShortTerminalToGnd("/rda0".into()).apply(&mut n));
+        assert_eq!(n.transistors[0].gate, NetId(0));
+        assert_eq!(n.terminals[0].1, NetId(0));
+    }
+}

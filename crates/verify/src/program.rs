@@ -1,0 +1,229 @@
+//! Randomized microcode transfer programs.
+//!
+//! A program is a sequence of [`Cycle`]s over the transfer-faithful
+//! subset of the instruction set: every cycle is either a **write**
+//! (the input port drives bus A with a fresh random pad word; register
+//! loads and output-port loads may sample it), a **read** (register read
+//! selects discharge the buses; the input port may co-drive bus A), or
+//! **idle**. Loads never coincide with register reads: a load from a
+//! read-driven bus would store the silicon's inverted read dialect into
+//! a plate, deliberately diverging storage from the functional model.
+//!
+//! Generation is prefix-stable: the first `k` cycles of a longer program
+//! generated from the same seed are identical, which is what lets the
+//! shrinker truncate programs without re-rolling earlier cycles.
+
+use std::collections::BTreeMap;
+
+use bristle_core::ChipSpec;
+use bristle_sim::{Microcode, MicrocodeError};
+
+use crate::Rng;
+
+/// Per-cycle intent for one register element: at most one read select
+/// per bus and at most one load target (field-encoded selects allow only
+/// one value per field).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegOps {
+    /// Register driven onto bus A (`rda` select), if any.
+    pub read_a: Option<usize>,
+    /// Register driven onto bus B (`rdb` select), if any.
+    pub read_b: Option<usize>,
+    /// Register loaded from bus A (`ld` select), if any.
+    pub load: Option<usize>,
+}
+
+/// One clock cycle of a transfer program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cycle {
+    /// Per register-element ops, keyed by element prefix.
+    pub regs: BTreeMap<String, RegOps>,
+    /// Input-port pad word driven this cycle (`drv` asserted), if any.
+    pub inport: Option<u64>,
+    /// Output-port prefixes latching bus A this cycle.
+    pub outport_lds: Vec<String>,
+}
+
+impl Cycle {
+    /// True if any register read select is asserted.
+    #[must_use]
+    pub fn has_reads(&self) -> bool {
+        self.regs
+            .values()
+            .any(|r| r.read_a.is_some() || r.read_b.is_some())
+    }
+}
+
+/// A transfer program bound to one chip spec's element naming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The cycles, in execution order.
+    pub cycles: Vec<Cycle>,
+    /// Register element prefixes and their register counts.
+    pub reg_elements: Vec<(String, usize)>,
+    /// The input-port element prefix (co-sim specs have exactly one).
+    pub inport: String,
+    /// Output-port element prefixes.
+    pub outports: Vec<String>,
+}
+
+/// Element prefixes as the compiler assigns them (`e<i>_<kind>`).
+fn prefixes(spec: &ChipSpec) -> (Vec<(String, usize)>, Option<String>, Vec<String>) {
+    let mut regs = Vec::new();
+    let mut inport = None;
+    let mut outports = Vec::new();
+    for (i, e) in spec.elements.iter().enumerate() {
+        let prefix = format!("e{i}_{}", e.kind);
+        match e.kind.as_str() {
+            "registers" => {
+                let count = e.params.get("count").copied().unwrap_or(2) as usize;
+                regs.push((prefix, count));
+            }
+            "inport" => inport = Some(prefix),
+            "outport" => outports.push(prefix),
+            _ => {}
+        }
+    }
+    (regs, inport, outports)
+}
+
+impl Program {
+    /// Generates `cycles` random transfer cycles for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no input port or no register element —
+    /// co-sim specs guarantee both.
+    #[must_use]
+    pub fn random(spec: &ChipSpec, seed: u64, cycles: usize) -> Program {
+        let (reg_elements, inport, outports) = prefixes(spec);
+        let inport = inport.expect("cosim spec must carry an inport");
+        assert!(
+            !reg_elements.is_empty(),
+            "cosim spec must carry a register element"
+        );
+        let mut rng = Rng::new(seed);
+        let mask = if spec.data_width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << spec.data_width) - 1
+        };
+        let mut out = Vec::with_capacity(cycles);
+        for _ in 0..cycles {
+            let mut c = Cycle::default();
+            match rng.range_u64(0, 8) {
+                // Write cycle (most common: it creates the state the
+                // read cycles then cross-check).
+                0..=3 => {
+                    c.inport = Some(rng.next() & mask);
+                    for (p, count) in &reg_elements {
+                        if rng.chance(2, 3) {
+                            c.regs.entry(p.clone()).or_default().load =
+                                Some(rng.range_u64(0, *count as u64) as usize);
+                        }
+                    }
+                    for p in &outports {
+                        if rng.chance(1, 2) {
+                            c.outport_lds.push(p.clone());
+                        }
+                    }
+                }
+                // Read cycle: random selects, optional co-driving pad.
+                4..=6 => {
+                    for (p, count) in &reg_elements {
+                        let ops = c.regs.entry(p.clone()).or_default();
+                        if rng.chance(2, 3) {
+                            ops.read_a = Some(rng.range_u64(0, *count as u64) as usize);
+                        }
+                        if rng.chance(1, 3) {
+                            ops.read_b = Some(rng.range_u64(0, *count as u64) as usize);
+                        }
+                    }
+                    if rng.chance(1, 3) {
+                        c.inport = Some(rng.next() & mask);
+                    }
+                }
+                // Idle cycle.
+                _ => {}
+            }
+            out.push(c);
+        }
+        Program {
+            cycles: out,
+            reg_elements,
+            inport,
+            outports,
+        }
+    }
+
+    /// Encodes one cycle into a microcode word.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MicrocodeError`] if the spec's field layout does not
+    /// carry the expected element fields (a compiler regression).
+    pub fn encode_cycle(&self, mc: &Microcode, cycle: &Cycle) -> Result<u64, MicrocodeError> {
+        let mut fields: Vec<(String, u64)> = Vec::new();
+        for (p, ops) in &cycle.regs {
+            if let Some(r) = ops.read_a {
+                fields.push((format!("{p}_rda"), r as u64 + 1));
+            }
+            if let Some(r) = ops.read_b {
+                fields.push((format!("{p}_rdb"), r as u64 + 1));
+            }
+            if let Some(r) = ops.load {
+                fields.push((format!("{p}_ld"), r as u64 + 1));
+            }
+        }
+        if cycle.inport.is_some() {
+            fields.push((format!("{}_io", self.inport), 1));
+        }
+        for p in &cycle.outport_lds {
+            fields.push((format!("{p}_io"), 1));
+        }
+        let refs: Vec<(&str, u64)> = fields.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        mc.encode(&refs)
+    }
+
+    /// Truncates to the first `n` cycles (prefix-stable shrink step).
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> Program {
+        Program {
+            cycles: self.cycles[..n.min(self.cycles.len())].to_vec(),
+            reg_elements: self.reg_elements.clone(),
+            inport: self.inport.clone(),
+            outports: self.outports.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpecGen;
+
+    #[test]
+    fn generation_is_prefix_stable() {
+        let spec = SpecGen::random_cosim_spec(&mut Rng::new(3), "p");
+        let long = Program::random(&spec, 11, 20);
+        let short = Program::random(&spec, 11, 8);
+        assert_eq!(&long.cycles[..8], &short.cycles[..]);
+        assert_eq!(long.truncated(8).cycles, short.cycles);
+    }
+
+    #[test]
+    fn loads_never_coincide_with_reads() {
+        for seed in 0..20 {
+            let spec = SpecGen::random_cosim_spec(&mut Rng::new(seed), "p");
+            let prog = Program::random(&spec, seed * 7 + 1, 30);
+            for c in &prog.cycles {
+                let has_load =
+                    c.regs.values().any(|r| r.load.is_some()) || !c.outport_lds.is_empty();
+                if has_load {
+                    assert!(!c.has_reads(), "seed {seed}: load in a read cycle");
+                    assert!(c.inport.is_some(), "seed {seed}: load without a driven bus");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The seeded random chip-spec generator.
+//!
+//! Two flavors:
+//!
+//! * [`SpecGen::random_spec`] — full-diversity specs over every element
+//!   kind, parameter range, bus break, user microcode field and flag the
+//!   compiler accepts. Used for compile/extract robustness fuzzing.
+//! * [`SpecGen::random_cosim_spec`] — specs restricted to the
+//!   transfer-faithful subset the differential co-simulation drives
+//!   (always exactly one input port; RAM/stack/ALU/shifter may appear
+//!   but ride along passively). Kept small so switch-level relaxation
+//!   stays fast in debug builds.
+
+use bristle_core::{ChipSpec, ElementSpec};
+
+use crate::Rng;
+
+/// Generator of random, well-formed chip specs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpecGen;
+
+fn element(kind: &str, params: &[(&str, i64)]) -> ElementSpec {
+    ElementSpec {
+        kind: kind.to_owned(),
+        params: params.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+        break_bus_a: false,
+        break_bus_b: false,
+    }
+}
+
+impl SpecGen {
+    /// A full-diversity random spec: any element mix, widths 2..=24,
+    /// optional bus breaks, user microcode fields and the PROTOTYPE
+    /// flag. Always well-formed (builds without error).
+    #[must_use]
+    pub fn random_spec(rng: &mut Rng, name: &str) -> ChipSpec {
+        let width = rng.range(2, 25) as u32;
+        let mut b = ChipSpec::builder(name).data_width(width);
+        if rng.chance(1, 3) {
+            b = b.microcode_field("user_lit", rng.range(1, 9) as u32);
+        }
+        if rng.chance(1, 6) {
+            b = b.flag("PROTOTYPE", true);
+        }
+        let n = rng.range(1, 7);
+        // The pad pass routes every port's east escape wire at the same
+        // per-bit y offset, so a second port of the same kind collides
+        // (< 7λ); one of each is the supported maximum today.
+        let (mut inports, mut outports) = (0, 0);
+        for i in 0..n {
+            let e = match rng.range_u64(0, 7) {
+                0 => element("registers", &[("count", rng.range(1, 7))]),
+                1 => element("alu", &[]),
+                2 => element("shifter", &[]),
+                3 => element("ram", &[("words", rng.range(1, 7))]),
+                4 => element("stack", &[("depth", rng.range(1, 7))]),
+                5 if inports == 0 => {
+                    inports += 1;
+                    element("inport", &[])
+                }
+                6 if outports == 0 => {
+                    outports += 1;
+                    element("outport", &[])
+                }
+                _ => element("shifter", &[]),
+            };
+            b = b.push_element(e);
+            if i + 1 < n && rng.chance(1, 5) {
+                b = b.break_bus(usize::from(rng.chance(1, 2)));
+            }
+        }
+        b.build().expect("generated spec must be well-formed")
+    }
+
+    /// A co-simulation spec: 1–2 register banks, exactly one input port,
+    /// optional output port, and optional passive ALU / shifter / RAM /
+    /// stack columns; widths 2..=8. Element order is randomized.
+    #[must_use]
+    pub fn random_cosim_spec(rng: &mut Rng, name: &str) -> ChipSpec {
+        let width = rng.range(2, 9) as u32;
+        let mut elements: Vec<ElementSpec> = Vec::new();
+        elements.push(element("inport", &[]));
+        let banks = rng.range(1, 3);
+        for _ in 0..banks {
+            elements.push(element("registers", &[("count", rng.range(1, 4))]));
+        }
+        if rng.chance(1, 2) {
+            elements.push(element("outport", &[]));
+        }
+        if rng.chance(1, 3) {
+            elements.push(element("alu", &[]));
+        }
+        if rng.chance(1, 3) {
+            elements.push(element("shifter", &[]));
+        }
+        if rng.chance(1, 4) {
+            elements.push(element("ram", &[("words", rng.range(1, 4))]));
+        }
+        if rng.chance(1, 4) {
+            elements.push(element("stack", &[("depth", rng.range(1, 4))]));
+        }
+        // Shuffle (Fisher–Yates on the element list).
+        for i in (1..elements.len()).rev() {
+            let j = rng.range_u64(0, i as u64 + 1) as usize;
+            elements.swap(i, j);
+        }
+        let break_after = if rng.chance(1, 4) && elements.len() > 1 {
+            Some(rng.range_u64(0, elements.len() as u64 - 1) as usize)
+        } else {
+            None
+        };
+        let mut b = ChipSpec::builder(name).data_width(width);
+        for (i, e) in elements.into_iter().enumerate() {
+            b = b.push_element(e);
+            if break_after == Some(i) {
+                b = b.break_bus(0);
+            }
+        }
+        b.build().expect("generated cosim spec must be well-formed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_deterministic_per_seed() {
+        let a = SpecGen::random_spec(&mut Rng::new(9), "a");
+        let b = SpecGen::random_spec(&mut Rng::new(9), "a");
+        assert_eq!(a, b);
+        let c = SpecGen::random_spec(&mut Rng::new(10), "a");
+        assert_ne!(a.elements, c.elements);
+    }
+
+    #[test]
+    fn cosim_specs_always_have_one_inport() {
+        for seed in 0..50 {
+            let s = SpecGen::random_cosim_spec(&mut Rng::new(seed), "c");
+            let inports = s.elements.iter().filter(|e| e.kind == "inport").count();
+            assert_eq!(inports, 1, "seed {seed}");
+            assert!(s.elements.iter().any(|e| e.kind == "registers"));
+            assert!((2..=8).contains(&s.data_width));
+        }
+    }
+
+    #[test]
+    fn full_specs_are_diverse() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..60 {
+            let s = SpecGen::random_spec(&mut Rng::new(seed), "f");
+            for e in &s.elements {
+                kinds.insert(e.kind.clone());
+            }
+        }
+        assert!(kinds.len() >= 6, "only saw {kinds:?}");
+    }
+}

@@ -21,7 +21,9 @@
 //!   Turing machine → optimized PLA),
 //! * [`route`] — the Roto-Router pad placer and perimeter wire router,
 //! * [`stdcells`] — the procedural low-level cell library,
-//! * [`core`] — the three-pass compiler and the seven representations.
+//! * [`core`] — the three-pass compiler and the seven representations,
+//! * [`verify`] — differential verification: random specs co-simulated
+//!   switch-level (extracted silicon) vs the functional machine.
 //!
 //! # Quickstart
 //!
@@ -53,3 +55,4 @@ pub use bristle_pla as pla;
 pub use bristle_route as route;
 pub use bristle_sim as sim;
 pub use bristle_stdcells as stdcells;
+pub use bristle_verify as verify;

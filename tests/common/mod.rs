@@ -4,40 +4,7 @@
 //! every helper is used from every suite.
 #![allow(dead_code)]
 
-/// Deterministic xorshift64* PRNG for dependency-free property tests.
-pub struct Rng(u64);
-
-impl Rng {
-    pub fn new(seed: u64) -> Rng {
-        Rng(seed.max(1))
-    }
-
-    pub fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Uniform in `[lo, hi)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the range is empty.
-    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
-        assert!(lo < hi, "empty range {lo}..{hi}");
-        lo + (self.next() % (hi - lo) as u64) as i64
-    }
-
-    /// Uniform in `[lo, hi)` over `u64`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the range is empty.
-    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        assert!(lo < hi, "empty range {lo}..{hi}");
-        lo + self.next() % (hi - lo)
-    }
-}
+/// Deterministic xorshift64* PRNG for dependency-free property tests —
+/// re-exported from `bristle-verify` so every suite (and the
+/// differential fuzzer) interprets seeds identically.
+pub use bristle_blocks::verify::Rng;

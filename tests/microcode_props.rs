@@ -1,0 +1,121 @@
+//! Property tests for the microcode word format: encode/extract
+//! round-trips, field-packing invariants and error cases, driven by the
+//! same local xorshift PRNG as the other `*_props` suites.
+
+mod common;
+
+use bristle_blocks::sim::{Microcode, MicrocodeError};
+use common::Rng;
+
+/// Builds a random format of 1..=10 fields totalling ≤ 64 bits. Returns
+/// the format and the field list `(name, width)`.
+fn random_format(rng: &mut Rng) -> (Microcode, Vec<(String, u32)>) {
+    let mut mc = Microcode::new();
+    let mut fields = Vec::new();
+    let n = rng.range(1, 11);
+    let mut budget = 64u32;
+    for i in 0..n {
+        if budget == 0 {
+            break;
+        }
+        let width = rng.range(1, i64::from(budget.min(12)) + 1) as u32;
+        let name = format!("f{i}");
+        mc.add_field(name.clone(), width).unwrap();
+        fields.push((name, width));
+        budget -= width;
+    }
+    (mc, fields)
+}
+
+#[test]
+fn encode_extract_round_trips_random_formats() {
+    let mut rng = Rng::new(0xC0DE);
+    for _ in 0..200 {
+        let (mc, fields) = random_format(&mut rng);
+        // Random assignment of every field.
+        let values: Vec<(String, u64)> = fields
+            .iter()
+            .map(|(n, w)| {
+                let max = if *w >= 64 { u64::MAX } else { (1 << w) - 1 };
+                (n.clone(), rng.range_u64(0, max + 1))
+            })
+            .collect();
+        let refs: Vec<(&str, u64)> = values.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let word = mc.encode(&refs).unwrap();
+        for (n, v) in &values {
+            assert_eq!(mc.extract(word, n).unwrap(), *v, "field {n} in {mc}");
+        }
+        // Unassigned fields decode to zero.
+        let partial = mc.encode(&refs[..refs.len() / 2]).unwrap();
+        for (n, _) in &values[refs.len() / 2..] {
+            assert_eq!(mc.extract(partial, n).unwrap(), 0);
+        }
+    }
+}
+
+#[test]
+fn field_masks_are_disjoint_and_cover_the_word() {
+    let mut rng = Rng::new(0xF1E1D);
+    for _ in 0..200 {
+        let (mc, _) = random_format(&mut rng);
+        let mut seen = 0u64;
+        for f in mc.fields() {
+            let mask = f.mask();
+            assert_ne!(mask, 0, "field {} has empty mask", f.name);
+            assert_eq!(seen & mask, 0, "field {} overlaps in {mc}", f.name);
+            seen |= mask;
+        }
+        // Fields pack densely LSB-first: the union is a contiguous
+        // low-bit mask of word_width bits.
+        let ww = mc.word_width();
+        let expect = if ww >= 64 { u64::MAX } else { (1 << ww) - 1 };
+        assert_eq!(seen, expect, "packing must be dense in {mc}");
+    }
+}
+
+#[test]
+fn overlapping_and_invalid_fields_rejected() {
+    let mut rng = Rng::new(0xBAD);
+    for _ in 0..100 {
+        let (mut mc, fields) = random_format(&mut rng);
+        // Re-declaring any existing field is a duplicate (the only way
+        // two fields could ever overlap).
+        let dup = &fields[rng.range(0, fields.len() as i64) as usize].0;
+        assert!(matches!(
+            mc.add_field(dup.clone(), 1),
+            Err(MicrocodeError::DuplicateField(_))
+        ));
+        // Zero-width fields are rejected.
+        assert!(matches!(
+            mc.add_field("zw", 0),
+            Err(MicrocodeError::ZeroWidth(_))
+        ));
+        // Blowing the 64-bit budget is rejected and leaves the format
+        // intact.
+        let ww = mc.word_width();
+        let before = mc.fields().len();
+        assert!(matches!(
+            mc.add_field("huge", 65 - ww),
+            Err(MicrocodeError::TooWide { .. })
+        ));
+        assert_eq!(mc.fields().len(), before, "failed add must not mutate");
+        // Out-of-range values are rejected per field.
+        for (n, w) in &fields {
+            if *w < 64 {
+                assert!(matches!(
+                    mc.encode(&[(n.as_str(), 1 << w)]),
+                    Err(MicrocodeError::ValueTooBig { .. })
+                ));
+            }
+        }
+        // Unknown fields are rejected symmetrically.
+        assert!(matches!(
+            mc.extract(0, "ghost"),
+            Err(MicrocodeError::UnknownField(_))
+        ));
+        assert!(matches!(
+            mc.encode(&[("ghost", 0)]),
+            Err(MicrocodeError::UnknownField(_))
+        ));
+    }
+}
