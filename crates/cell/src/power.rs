@@ -33,11 +33,24 @@ pub const UA_PER_LAMBDA: u64 = 400;
 /// Minimum metal rail width in λ (the Mead–Conway metal minimum).
 pub const MIN_RAIL_WIDTH: i64 = 3;
 
+/// Static supply current of one ratioed (depletion-load) inverter, in µA.
+/// A depletion pull-up conducts whenever its output is low, so every
+/// restoring stage adds a DC term on top of a cell's dynamic estimate;
+/// frame builders multiply this by their inverter count.
+pub const INVERTER_STATIC_UA: u64 = 70;
+
 impl PowerInfo {
     /// Creates power info for a cell drawing `current_ua` microamps.
     #[must_use]
     pub fn new(current_ua: u64) -> PowerInfo {
         PowerInfo { current_ua }
+    }
+
+    /// Power info for a cell with `base_ua` of dynamic demand plus
+    /// `inverters` ratioed loads drawing [`INVERTER_STATIC_UA`] each.
+    #[must_use]
+    pub fn with_inverters(base_ua: u64, inverters: usize) -> PowerInfo {
+        PowerInfo::new(base_ua + INVERTER_STATIC_UA * inverters as u64)
     }
 
     /// Supply current demand in µA.

@@ -200,6 +200,10 @@ impl Compiler {
         };
         let mut pc_count = 0usize;
         push_precharge(&mut pending, &mut pc_count, spec.data_width, &spec.flags);
+        // Escape-lane numbering: every port of one kind gets its own lane
+        // so the pad pass can route all their east escape wires without
+        // the < 7λ collision that used to cap specs at one port per kind.
+        let mut lanes: std::collections::BTreeMap<&str, i64> = std::collections::BTreeMap::new();
         for (i, e) in spec.elements.iter().enumerate() {
             let generator = generator_named(&e.kind)
                 .ok_or_else(|| CompileError::UnknownElement(e.kind.clone()))?;
@@ -207,6 +211,11 @@ impl Compiler {
             ctx.prefix = format!("e{i}_{}", e.kind);
             ctx.params = e.params.clone();
             ctx.flags = spec.flags.clone();
+            if matches!(e.kind.as_str(), "inport" | "outport") {
+                let lane = lanes.entry(e.kind.as_str()).or_insert(0);
+                ctx.params.entry("lane".into()).or_insert(*lane);
+                *lane += 1;
+            }
             pending.push(Pending {
                 index: i,
                 kind: e.kind.clone(),
@@ -440,9 +449,9 @@ impl Compiler {
             .map(|b| (b.name.clone(), dec_t.apply(b.pos)))
             .collect();
 
-        for (i, (name, _line, core_pos)) in controls.iter().enumerate() {
-            let track_y = -(10 + 8 * (i as i64 + 2));
-            let out_pos = dec_outs
+        // Output positions of every control, in control order.
+        let out_of = |name: &str| {
+            dec_outs
                 .iter()
                 .find(|(n2, _)| n2 == name)
                 .map(|&(_, p)| p)
@@ -450,7 +459,60 @@ impl Compiler {
                     CompileError::Gen(GenError::Unsupported(format!(
                         "decoder lacks output `{name}`"
                     )))
-                })?;
+                })
+        };
+        let mut outs: Vec<Point> = Vec::with_capacity(controls.len());
+        for (name, _, _) in &controls {
+            outs.push(out_of(name)?);
+        }
+
+        // Track-order assignment. Each control owns one horizontal
+        // channel track, reached by a poly riser from its decoder output
+        // (rising from the channel bottom) and one from its core control
+        // column (dropping from y = 0). Two vertical runs only conflict
+        // when they coexist at the same height, so tracks are ordered
+        // such that whenever control i's output column sits within 6λ of
+        // control j's core column, i's track lies BELOW j's: i's riser
+        // then tops out before j's core riser begins. (6λ covers the 2λ
+        // poly spacing for riser-vs-riser and the 4λ via pads at the
+        // track landings.) The PLA packs outputs ≥ 12λ apart and core
+        // columns sit on an 8λ grid, so precedence cycles would need
+        // mutually-close pairs; if one ever occurs it is a hard
+        // congestion error — never silently emit a colliding layout.
+        let nc = controls.len();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nc];
+        let mut indeg = vec![0usize; nc];
+        for i in 0..nc {
+            for j in 0..nc {
+                if i != j && (outs[i].x - controls[j].2.x).abs() < 6 {
+                    succ[j].push(i);
+                    indeg[i] += 1;
+                }
+            }
+        }
+        let mut ready: std::collections::BTreeSet<usize> = (0..nc)
+            .filter(|&i| indeg[i] == 0)
+            .collect();
+        let mut slot_of = vec![0usize; nc];
+        for slot in 0..nc {
+            let Some(&i) = ready.iter().next() else {
+                return Err(CompileError::Gen(GenError::Unsupported(
+                    "control channel congestion: cyclic riser precedence".into(),
+                )));
+            };
+            ready.remove(&i);
+            slot_of[i] = slot;
+            for &k in &succ[i] {
+                indeg[k] -= 1;
+                if indeg[k] == 0 {
+                    ready.insert(k);
+                }
+            }
+        }
+
+        for (i, (_name, _line, core_pos)) in controls.iter().enumerate() {
+            let track_y = -(10 + 8 * (slot_of[i] as i64 + 2));
+            let out_pos = outs[i];
             // Riser from the decoder output (metal, active low → buffer
             // behavior folded into decode polarity; see DESIGN.md) up to
             // the track, then along, then up to the core control point.
@@ -464,6 +526,22 @@ impl Compiler {
                         4,
                     )
                     .expect("track"),
+                ));
+            }
+            // A control whose output and core columns nearly coincide
+            // leaves its two via pads (and riser ends) a notch apart;
+            // fill the landing into one solid poly pad — it is all one
+            // net.
+            let dx = (out_pos.x - core_pos.x).abs();
+            if dx > 0 && dx < 6 {
+                frame.push_shape(Shape::rect(
+                    Layer::Poly,
+                    Rect::new(
+                        out_pos.x.min(core_pos.x) - 2,
+                        track_y - 2,
+                        out_pos.x.max(core_pos.x) + 2,
+                        track_y + 2,
+                    ),
                 ));
             }
             frame.push_shape(Shape::wire(
@@ -762,12 +840,23 @@ impl CompiledChip {
             let count = espec.params.get("count").copied().unwrap_or(2) as usize;
             let words = espec.params.get("words").copied().unwrap_or(4) as usize;
             let depth = espec.params.get("depth").copied().unwrap_or(4) as usize;
+            let legacy = self
+                .spec
+                .flags
+                .get(bristle_stdcells::LEGACY_INVERTING_READ)
+                .copied()
+                .unwrap_or(false);
             let behavior = match espec.kind.as_str() {
                 "registers" => bristle_sim::behaviors::register_file(&e.prefix, count),
                 "alu" => bristle_sim::behaviors::alu(&e.prefix),
                 "shifter" => bristle_sim::behaviors::shifter(&e.prefix),
+                // Legacy cells carry no selw/sel columns in their
+                // write/select topology; each behavior variant mirrors
+                // the cell library the flag selects.
+                "ram" if legacy => bristle_sim::behaviors::decoded_ram_legacy(&e.prefix, words),
                 "ram" => bristle_sim::behaviors::decoded_ram(&e.prefix, words),
-                "stack" => bristle_sim::behaviors::stack(&e.prefix, depth),
+                "stack" if legacy => bristle_sim::behaviors::stack(&e.prefix, depth),
+                "stack" => bristle_sim::behaviors::decoded_stack(&e.prefix, depth),
                 "inport" => {
                     bristle_sim::behaviors::input_port(&e.prefix, format!("{}_pad", e.prefix))
                 }

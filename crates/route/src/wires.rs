@@ -34,6 +34,9 @@ pub enum RouteError {
     SlotsTooDense,
     /// A point does not lie on the core boundary.
     PointOffCore(String),
+    /// No spoke coordinate exists for this net that avoids shorting a
+    /// foreign pad square or overlapping another spoke.
+    SpokeCongestion(String),
 }
 
 impl fmt::Display for RouteError {
@@ -48,6 +51,9 @@ impl fmt::Display for RouteError {
             RouteError::SlotsTooDense => f.write_str("pad slots closer than 16λ"),
             RouteError::PointOffCore(n) => {
                 write!(f, "connection point `{n}` is not on the core boundary")
+            }
+            RouteError::SpokeCongestion(n) => {
+                write!(f, "no short-free spoke coordinate for net `{n}`")
             }
         }
     }
@@ -282,57 +288,119 @@ pub fn route_wires(
         let pad = &slots[slot];
         let side_s = pad.side;
         let mut coord = coord_of(side_s, pad.pos);
-        // Keep inside the track rectangle's straight segment.
+        // Keep inside the track rectangle's straight segment, 7λ clear
+        // of the corners: the arc turns the corner with a 4λ-wide bend,
+        // and a spoke via closer than 7λ leaves a 1λ notch between its
+        // pad and the perpendicular arm of the bend.
         let (seg_lo, seg_hi) = match side_s {
-            Side::North | Side::South => (track_rect.x0 + 4, track_rect.x1 - 4),
-            Side::East | Side::West => (track_rect.y0 + 4, track_rect.y1 - 4),
+            Side::North | Side::South => (track_rect.x0 + 7, track_rect.x1 - 7),
+            Side::East | Side::West => (track_rect.y0 + 7, track_rect.y1 - 7),
         };
         coord = coord.clamp(seg_lo, seg_hi);
-        // Shift until ≥ 4λ from every claimed spoke whose track span
-        // overlaps ours ([track..tracks]).
-        let conflict = |c: i64, claimed: &[(Side, i64, usize, usize)]| {
+        // Shift until ≥ 7λ from every claimed spoke whose track span
+        // overlaps ours ([track..tracks]): the via constructs are 4λ
+        // wide, so anything closer than 7λ center-to-center leaves a
+        // sub-3λ metal notch between the via pads (two vias on one track
+        // edge bridged by the arc are the classic case). The pad square
+        // itself is a keep-out band too: a via landing 22..24λ from the
+        // pin sits 1..2λ off the 40λ pad's edge.
+        let pin = coord_of(side_s, pad.pos);
+        // Conflict rules, tiered so a crowded edge degrades gracefully:
+        // tier 0 also avoids 1–2λ notches against pad squares; tier 1
+        // gives those up but still refuses shorts (overlapping a foreign
+        // pad square) and sub-7λ spoke pitch; tier 2 falls back to the
+        // 4λ spoke pitch of the original construct. A short is never
+        // emitted.
+        let conflict = |c: i64, tier: u8, claimed: &[(Side, i64, usize, usize)]| {
+            let d_pin = (c - pin).abs();
+            if tier == 0 && d_pin > 21 && d_pin < 25 {
+                return true;
+            }
+            for (si, s) in slots.iter().enumerate() {
+                if si != slot && s.side == side_s {
+                    let d = (c - coord_of(side_s, s.pos)).abs();
+                    if d < if tier == 0 { 25 } else { 22 } {
+                        return true;
+                    }
+                }
+            }
+            let min_pitch = if tier >= 2 { 4 } else { 7 };
             claimed.iter().any(|&(s, cc, lo, hi)| {
-                s == side_s && (cc - c).abs() < 4 && lo <= ring.tracks && track <= hi.max(lo)
+                s == side_s
+                    && (cc - c).abs() < min_pitch
+                    && lo <= ring.tracks
+                    && track <= hi.max(lo)
                     // our span is [track, tracks-1]; theirs [lo, hi]
                     && hi >= track
             })
         };
-        let mut guard = 0;
-        while conflict(coord, &claimed) && guard < 64 {
-            coord += 4;
-            if coord > seg_hi {
-                coord = seg_lo + (coord - seg_hi);
+        // Symmetric outward search for the nearest clear coordinate, so
+        // a crowded edge does not send the stub wandering across half
+        // the ring (and through foreign pad territory). If even the
+        // loosest tier finds nothing, the edge cannot be routed without
+        // a short — a hard error, never silently emitted.
+        let mut placed = false;
+        'tiers: for tier in 0..3u8 {
+            if !conflict(coord, tier, &claimed) {
+                placed = true;
+                break;
             }
-            guard += 1;
+            let found = (1..=64).find_map(|k| {
+                [coord + 4 * k, coord - 4 * k]
+                    .into_iter()
+                    .find(|&c| (seg_lo..=seg_hi).contains(&c) && !conflict(c, tier, &claimed))
+            });
+            if let Some(c) = found {
+                coord = c;
+                placed = true;
+                break 'tiers;
+            }
+        }
+        if !placed {
+            return Err(RouteError::SpokeCongestion(name.clone()));
         }
         claimed.push((side_s, coord, track, ring.tracks));
 
+        // The boundary stub runs 2λ outside the ring rectangle: core
+        // connection points sit on the frame boundary 5λ in, and their
+        // via pads protrude 2λ into the margin, so a stub centered on
+        // the boundary itself would graze every point via by 1λ.
         let (stub_from, spoke_start, spoke_end_s) = match side_s {
             Side::North => (
                 pad.pos,
-                Point::new(coord, ring.rect.y1),
+                Point::new(coord, ring.rect.y1 + 2),
                 Point::new(coord, track_rect.y1),
             ),
             Side::East => (
                 pad.pos,
-                Point::new(ring.rect.x1, coord),
+                Point::new(ring.rect.x1 + 2, coord),
                 Point::new(track_rect.x1, coord),
             ),
             Side::South => (
                 pad.pos,
-                Point::new(coord, ring.rect.y0),
+                Point::new(coord, ring.rect.y0 - 2),
                 Point::new(coord, track_rect.y0),
             ),
             Side::West => (
                 pad.pos,
-                Point::new(ring.rect.x0, coord),
+                Point::new(ring.rect.x0 - 2, coord),
                 Point::new(track_rect.x0, coord),
             ),
         };
         if stub_from != spoke_start {
+            // The pad pin may sit a few λ outside the ring rectangle, so
+            // route the stub as an axis-aligned L (perpendicular drop to
+            // the boundary, then along it) — a skewed two-point path
+            // renders as a staircase whose corners graze the vias.
+            let corner = match side_s {
+                Side::North | Side::South => Point::new(stub_from.x, spoke_start.y),
+                Side::East | Side::West => Point::new(spoke_start.x, stub_from.y),
+            };
+            let mut pts = vec![stub_from, corner, spoke_start];
+            pts.dedup();
             shapes.push(Shape::wire(
                 Layer::Metal,
-                Path::new(vec![stub_from, spoke_start], 4).expect("pad stub"),
+                Path::new(pts, 4).expect("pad stub"),
             ));
             length += stub_from.manhattan(spoke_start);
         }
@@ -415,7 +483,8 @@ mod tests {
         let raw: Vec<Point> = points.iter().map(|p| p.1).collect();
         let assignment = RotoRouter::new().assign(&ring, &raw);
         let wires = route_wires(&ring, core, &points, &assignment).unwrap();
-        let outer = ring.rect.inflate(3);
+        // Stubs run 2λ outside the ring rectangle (plus 2λ half-width).
+        let outer = ring.rect.inflate(5);
         for w in &wires {
             for s in &w.shapes {
                 assert!(

@@ -14,7 +14,9 @@
 //! | [`alu`] | `lda`, `ldb` latch operands; `out` drives result on bus A | `op0..op2` select the operation |
 //! | [`shifter`] | `ld` from bus A; `out` drives bus B | `sl`/`sr` shift by one |
 //! | [`stack`] | `push` latches bus A; `pop` drives bus A | push/pop commit |
+//! | [`decoded_stack`] | `push` & `selw<i>` latch bus A into level i; `pop` & `sel<i>` drive level i | commit + sp update |
 //! | [`ram`] | `adr` latches bus B as address; `wr` latches bus A; `rd` drives bus A | write commits |
+//! | [`decoded_ram`] | `rd` & `sel<i>` drive word i; `wr` & `selw<i>` latch bus A | write commits |
 //! | [`input_port`] | `drv` drives bus A from the pad | — |
 //! | [`output_port`] | `ld` latches bus A | value appears on the pad |
 //! | [`literal`] | `en` drives bus A with the constant from bit lines `b<k>` | — |
@@ -409,6 +411,11 @@ struct DecodedRam {
     name: String,
     mem: Vec<u64>,
     pending_write: Option<(usize, u64)>,
+    /// Local name prefix of the write-select lines: `"selw"` for the
+    /// restoring cells (dedicated write-select column), `"sel"` for the
+    /// legacy cells (shared select; the legacy write chain itself is
+    /// not sel-gated, but the functional model always was).
+    write_sel: &'static str,
 }
 
 impl Behavior for DecodedRam {
@@ -428,9 +435,13 @@ impl Behavior for DecodedRam {
     }
 
     fn phi1_sample(&mut self, ctx: &mut ElementCtx<'_>, buses: [u64; 2]) {
+        // The physical write chain crosses `wr` AND the word's
+        // write-select column (both decoded from the same microcode
+        // fields), so the functional model gates on the same pair — a
+        // write never disturbs unaddressed words.
         if ctx.control("wr") {
             for i in 0..self.mem.len() {
-                if ctx.control(&format!("sel{i}")) {
+                if ctx.control(&format!("{}{i}", self.write_sel)) {
                     self.pending_write = Some((i, buses[0] & ctx.mask));
                 }
             }
@@ -463,14 +474,129 @@ impl Behavior for DecodedRam {
 }
 
 /// A RAM with fully decoded word lines, matching the physical layout of
-/// the `ram` stdcell: one `sel<i>` control per word plus shared `wr`
-/// (write bus A on φ2) and `rd` (drive bus A).
+/// the `ram` stdcell: one read select `sel<i>` and one write select
+/// `selw<i>` per word (the silicon routes them as separate poly columns
+/// gating the read and write chains), plus shared `wr` (write bus A on
+/// φ2) and `rd` (drive bus A).
 #[must_use]
 pub fn decoded_ram(name: impl Into<String>, words: usize) -> Box<dyn Behavior> {
     Box::new(DecodedRam {
         name: name.into(),
         mem: vec![0; words],
         pending_write: None,
+        write_sel: "selw",
+    })
+}
+
+/// The legacy-cell variant of [`decoded_ram`]: write selects ride the
+/// shared `sel<i>` lines, matching the pre-inverter RAM cells (which
+/// have no `selw` columns).
+#[must_use]
+pub fn decoded_ram_legacy(name: impl Into<String>, words: usize) -> Box<dyn Behavior> {
+    Box::new(DecodedRam {
+        name: name.into(),
+        mem: vec![0; words],
+        pending_write: None,
+        write_sel: "sel",
+    })
+}
+
+struct DecodedStack {
+    name: String,
+    levels: Vec<u64>,
+    sp: usize,
+    pending_push: Option<(usize, u64)>,
+    pending_pop: Option<usize>,
+}
+
+impl Behavior for DecodedStack {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn phi1_drive(&mut self, ctx: &ElementCtx<'_>) -> [Option<u64>; 2] {
+        if ctx.control("pop") {
+            for (i, &v) in self.levels.iter().enumerate() {
+                if ctx.control(&format!("sel{i}")) {
+                    self.pending_pop = Some(i);
+                    return [Some(v), None];
+                }
+            }
+        }
+        [None, None]
+    }
+
+    fn phi1_sample(&mut self, ctx: &mut ElementCtx<'_>, buses: [u64; 2]) {
+        if ctx.control("push") {
+            for i in 0..self.levels.len() {
+                if ctx.control(&format!("selw{i}")) {
+                    self.pending_push = Some((i, buses[0] & ctx.mask));
+                }
+            }
+        }
+    }
+
+    fn phi2(&mut self, _ctx: &mut ElementCtx<'_>) {
+        if let Some(i) = self.pending_pop.take() {
+            self.sp = i;
+        }
+        if let Some((i, v)) = self.pending_push.take() {
+            self.levels[i] = v;
+            self.sp = i + 1;
+        }
+    }
+
+    fn state(&self) -> Vec<(String, u64)> {
+        let mut s = vec![
+            ("sp".into(), self.sp as u64),
+            (
+                "top".into(),
+                self.sp
+                    .checked_sub(1)
+                    .and_then(|i| self.levels.get(i).copied())
+                    .unwrap_or(0),
+            ),
+        ];
+        for (i, &v) in self.levels.iter().enumerate() {
+            s.push((format!("s{i}"), v));
+        }
+        s
+    }
+
+    fn poke(&mut self, key: &str, value: u64) -> bool {
+        if key == "sp" {
+            if (value as usize) <= self.levels.len() {
+                self.sp = value as usize;
+                return true;
+            }
+            return false;
+        }
+        if let Some(idx) = key.strip_prefix('s').and_then(|s| s.parse::<usize>().ok()) {
+            if idx < self.levels.len() {
+                self.levels[idx] = value;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// The sp-faithful stack matching the sp-decoded `stack` stdcell: the
+/// microcode carries the target level (the `_sp` field the program
+/// generator maintains), decoded into per-level `sel<i>`/`selw<i>` lines
+/// exactly like RAM word selects. `push` writes bus A into level
+/// `selw<i>` and advances sp; `pop` drives level `sel<i>` onto bus A and
+/// retracts sp. Level storage therefore co-simulates word for word
+/// against the silicon plates, and `sp` is plain bookkeeping both sides
+/// derive from the same decoded selects.
+#[must_use]
+pub fn decoded_stack(name: impl Into<String>, depth: usize) -> Box<dyn Behavior> {
+    Box::new(DecodedStack {
+        name: name.into(),
+        levels: vec![0; depth],
+        sp: 0,
+        pending_push: None,
+        pending_pop: None,
     })
 }
 
@@ -734,6 +860,124 @@ mod tests {
         let pop = m.microcode().encode(&[("k", 2)]).unwrap();
         let buses = m.step_word(pop).unwrap();
         assert_eq!(buses[0], 0b1001);
+        assert_eq!(m.peek("st", "sp").unwrap(), 1);
+    }
+
+    #[test]
+    fn decoded_ram_write_needs_selw() {
+        let mut mc = Microcode::new();
+        mc.add_field("sel", 2).unwrap();
+        mc.add_field("rw", 2).unwrap();
+        let mut m = Machine::new(8, mc);
+        m.add_element(
+            decoded_ram("mem", 2),
+            &[
+                ("sel0", ctl("sel", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("sel1", ctl("sel", ActiveWhen::Equals(2), Phase::Phi1)),
+                ("selw0", ctl("sel", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("selw1", ctl("sel", ActiveWhen::Equals(2), Phase::Phi1)),
+                ("wr", ctl("rw", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("rd", ctl("rw", ActiveWhen::Equals(2), Phase::Phi1)),
+            ],
+        )
+        .unwrap();
+        m.add_element(
+            literal("lit"),
+            &[
+                ("en", ctl("rw", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("b0", ctl("rw", ActiveWhen::Always, Phase::Phi1)),
+                ("b2", ctl("rw", ActiveWhen::Always, Phase::Phi1)),
+            ],
+        )
+        .unwrap();
+        // Write 0b101 to word 1: only m1 changes.
+        let w = m.microcode().encode(&[("sel", 2), ("rw", 1)]).unwrap();
+        m.step_word(w).unwrap();
+        assert_eq!(m.peek("mem", "m0").unwrap(), 0);
+        assert_eq!(m.peek("mem", "m1").unwrap(), 0b101);
+        // Read it back.
+        let r = m.microcode().encode(&[("sel", 2), ("rw", 2)]).unwrap();
+        let buses = m.step_word(r).unwrap();
+        assert_eq!(buses[0], 0b101);
+    }
+
+    #[test]
+    fn legacy_decoded_ram_writes_through_sel() {
+        let mut mc = Microcode::new();
+        mc.add_field("sel", 2).unwrap();
+        mc.add_field("rw", 2).unwrap();
+        let mut m = Machine::new(8, mc);
+        // Legacy cells expose only sel<i>/wr/rd — the legacy behavior
+        // must keep committing writes through the shared selects.
+        m.add_element(
+            decoded_ram_legacy("mem", 2),
+            &[
+                ("sel0", ctl("sel", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("sel1", ctl("sel", ActiveWhen::Equals(2), Phase::Phi1)),
+                ("wr", ctl("rw", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("rd", ctl("rw", ActiveWhen::Equals(2), Phase::Phi1)),
+            ],
+        )
+        .unwrap();
+        m.add_element(
+            literal("lit"),
+            &[
+                ("en", ctl("rw", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("b1", ctl("rw", ActiveWhen::Always, Phase::Phi1)),
+            ],
+        )
+        .unwrap();
+        let w = m.microcode().encode(&[("sel", 2), ("rw", 1)]).unwrap();
+        m.step_word(w).unwrap();
+        assert_eq!(m.peek("mem", "m1").unwrap(), 0b10);
+        assert_eq!(m.peek("mem", "m0").unwrap(), 0);
+    }
+
+    #[test]
+    fn decoded_stack_is_sp_faithful() {
+        let mut mc = Microcode::new();
+        mc.add_field("stk", 2).unwrap();
+        mc.add_field("sp", 2).unwrap();
+        let mut m = Machine::new(8, mc);
+        m.add_element(
+            decoded_stack("st", 3),
+            &[
+                ("push", ctl("stk", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("pop", ctl("stk", ActiveWhen::Equals(2), Phase::Phi1)),
+                ("sel0", ctl("sp", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("sel1", ctl("sp", ActiveWhen::Equals(2), Phase::Phi1)),
+                ("sel2", ctl("sp", ActiveWhen::Equals(3), Phase::Phi1)),
+                ("selw0", ctl("sp", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("selw1", ctl("sp", ActiveWhen::Equals(2), Phase::Phi1)),
+                ("selw2", ctl("sp", ActiveWhen::Equals(3), Phase::Phi1)),
+            ],
+        )
+        .unwrap();
+        m.add_element(
+            literal("lit"),
+            &[
+                ("en", ctl("stk", ActiveWhen::Equals(1), Phase::Phi1)),
+                ("b1", ctl("stk", ActiveWhen::Always, Phase::Phi1)),
+            ],
+        )
+        .unwrap();
+        // Push twice (levels 0 then 1, the generator encodes sp).
+        let p0 = m.microcode().encode(&[("stk", 1), ("sp", 1)]).unwrap();
+        let p1 = m.microcode().encode(&[("stk", 1), ("sp", 2)]).unwrap();
+        m.step_word(p0).unwrap();
+        m.step_word(p1).unwrap();
+        assert_eq!(m.peek("st", "sp").unwrap(), 2);
+        assert_eq!(m.peek("st", "s0").unwrap(), 0b10);
+        assert_eq!(m.peek("st", "top").unwrap(), 0b10);
+        // Pop level 1: drives its word, sp falls back to 1.
+        let pop = m.microcode().encode(&[("stk", 2), ("sp", 2)]).unwrap();
+        let buses = m.step_word(pop).unwrap();
+        assert_eq!(buses[0], 0b10);
+        assert_eq!(m.peek("st", "sp").unwrap(), 1);
+        // Pop with no select (sp field 0) drives nothing and holds sp.
+        let idle_pop = m.microcode().encode(&[("stk", 2)]).unwrap();
+        let buses = m.step_word(idle_pop).unwrap();
+        assert_eq!(buses[0], 0xFF, "undriven bus stays precharged");
         assert_eq!(m.peek("st", "sp").unwrap(), 1);
     }
 

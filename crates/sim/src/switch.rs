@@ -279,6 +279,17 @@ impl<'a> SwitchSim<'a> {
                     // early iteration merges X against an equally-charged
                     // neighbor and the X sticks even after real drives
                     // arrive (classic charge-sharing pessimism).
+                    //
+                    // The symmetric hazard — a weak (ratioed) level seen
+                    // through a switch chain overpowering a strong driver
+                    // that arrives later in the same iteration — cannot
+                    // occur: `next` is rebuilt from the base drives every
+                    // iteration and contributions merge by strength order
+                    // in `resolve`, so a transiently-winning weak level
+                    // is displaced the moment the strong contribution
+                    // lands, regardless of hop count or device order
+                    // (pinned by `weak_inverter_output_cannot_overpower_
+                    // strong_driver`).
                     if src_strength == Strength::Charged {
                         continue;
                     }
@@ -515,6 +526,56 @@ mod tests {
         sim.release_net(NetId(3));
         sim.settle().unwrap();
         assert_eq!(sim.net_level(NetId(2)), Level::L1);
+    }
+
+    /// The symmetric case of the charge rule, audited: a *weak*
+    /// (ratioed) level seen through a switch chain must not overpower a
+    /// strong driver that reaches the same node later in the same
+    /// iteration. The relaxation is safe by construction — every
+    /// iteration recomputes from the base drives and merges
+    /// contributions by strength order (`resolve`), so a weak 1 that
+    /// lands on a node first is displaced the moment the strong 0
+    /// arrives, no matter how many switch hops the strong path takes or
+    /// where the devices sit in the transistor list. This test pins the
+    /// scenario: a depletion-load inverter output (weak 1) fighting,
+    /// through a conducting pass transistor, a bus that is pulled
+    /// strongly low via a two-switch chain.
+    #[test]
+    fn weak_inverter_output_cannot_overpower_strong_driver() {
+        // Nets: 0 VDD, 1 GND, 2 inv, 3 store, 4 en, 5 bus, 6 drv, 7 mid.
+        let n = netlist(
+            &["VDD", "GND", "inv", "store", "en", "bus", "drv", "mid"],
+            vec![
+                t(TransistorKind::Depletion, 2, 0, 2), // pull-up tied to inv
+                t(TransistorKind::Enhancement, 3, 2, 1), // driver gated by store
+                t(TransistorKind::Enhancement, 4, 2, 5), // pass: inv <-> bus
+                // The strong driver, two hops away so the weak level
+                // reaches the bus strictly earlier in the relaxation.
+                t(TransistorKind::Enhancement, 6, 1, 7),
+                t(TransistorKind::Enhancement, 6, 7, 5),
+            ],
+        );
+        let mut sim = SwitchSim::new(&n);
+        sim.preset_all(Level::L1); // bus precharged high
+        sim.set_input("store", Level::L0).unwrap(); // inv floats up: weak 1
+        sim.set_input("en", Level::L1).unwrap(); // pass conducting
+        sim.set_input("drv", Level::L1).unwrap(); // strong pull-down on
+        sim.settle().unwrap();
+        // The strong 0 wins on the bus AND drags the ratioed output low
+        // through the pass transistor (a 0 passes at full strength).
+        assert_eq!(sim.level("bus").unwrap(), Level::L0);
+        assert_eq!(sim.state[5].0, Strength::Strong, "bus must stay strongly driven");
+        assert_eq!(sim.level("inv").unwrap(), Level::L0);
+        // Release the pull-down: the ratioed 1 may now restore the bus
+        // (that is the whole point of a restoring read path).
+        sim.set_input("drv", Level::L0).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.level("bus").unwrap(), Level::L1);
+        assert_eq!(sim.state[5].0, Strength::Weak, "restored level is ratioed");
+        // And re-asserting the driver wins again: no stale weak memory.
+        sim.set_input("drv", Level::L1).unwrap();
+        sim.settle().unwrap();
+        assert_eq!(sim.level("bus").unwrap(), Level::L0);
     }
 
     #[test]

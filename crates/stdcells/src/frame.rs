@@ -49,6 +49,25 @@ pub enum Slot {
         /// Net name for extraction and debugging.
         name: String,
     },
+    /// A depletion-load inverter: a vertical diffusion strip from the GND
+    /// rail to the VDD rail, an enhancement driver gated by the `input`
+    /// plate and a depletion pull-up (implant, gate tied to the output
+    /// node via a buried contact) feeding the `output` plate. The restored
+    /// (inverted) level on `output` is what lets read chains *assert* a
+    /// stored value onto a precharged bus instead of discharging it —
+    /// the non-inverting read path.
+    ///
+    /// Layout discipline: `input` and `output` must be [`Slot::Plate`]s
+    /// exactly two slots away on opposite sides, with the slots adjacent
+    /// to the inverter left as [`Slot::Gap`] (the gate/output poly
+    /// branches cross them, and diffusion chains need 3λ clearance from
+    /// the strip).
+    Inverter {
+        /// Slot index of the input plate (the stored value).
+        input: usize,
+        /// Slot index of the output plate (receives the inverted level).
+        output: usize,
+    },
     /// An unused spacer slot.
     Gap,
 }
@@ -113,7 +132,15 @@ pub struct BitCellSpec {
     /// defaults 12 each). Varying these is how different element types
     /// end up with different natural pitches.
     pub region_heights: [i64; 3],
-    /// Supply current estimate (µA).
+    /// Escape lane index for [`Tap::PadEast`] wires. Lane `n` places the
+    /// east-bound pad metal `8n`λ higher in its region, so several ports
+    /// of the same kind abut without their escape wires colliding (the
+    /// pad pass needs ≥ 7λ between parallel wires). The owning region
+    /// must be `12 + 8n`λ tall.
+    pub pad_lane: i64,
+    /// Supply current estimate (µA), excluding inverter static draw —
+    /// the builder adds [`bristle_cell::INVERTER_STATIC_UA`] per
+    /// [`Slot::Inverter`] itself.
     pub power_ua: u64,
     /// Representation data to attach.
     pub reprs: CellReprs,
@@ -141,6 +168,28 @@ pub enum FrameError {
     RegionTooSmall(i64),
     /// A `PadEast` tap is only legal at the right end of a chain.
     PadTapNotEast(usize),
+    /// An inverter slot violates the layout discipline (plate placement,
+    /// gap clearance, or region height).
+    BadInverter {
+        /// The inverter's slot index.
+        slot: usize,
+        /// What is wrong.
+        reason: &'static str,
+    },
+    /// A diffusion chain (body or tap) comes closer than 3λ to an
+    /// inverter's strip.
+    ChainHitsInverter {
+        /// Chain index.
+        chain: usize,
+        /// Inverter slot index.
+        slot: usize,
+    },
+    /// The `pad_lane` does not fit: the region holding a `PadEast` wire
+    /// must be `12 + 8·lane`λ tall.
+    PadLaneDoesNotFit {
+        /// The offending lane.
+        lane: i64,
+    },
 }
 
 impl fmt::Display for FrameError {
@@ -157,6 +206,15 @@ impl fmt::Display for FrameError {
             }
             FrameError::RegionTooSmall(h) => write!(f, "region height {h} < 10λ"),
             FrameError::PadTapNotEast(c) => write!(f, "chain {c}: PadEast only at right end"),
+            FrameError::BadInverter { slot, reason } => {
+                write!(f, "inverter at slot {slot}: {reason}")
+            }
+            FrameError::ChainHitsInverter { chain, slot } => {
+                write!(f, "chain {chain} within 3λ of the inverter strip at slot {slot}")
+            }
+            FrameError::PadLaneDoesNotFit { lane } => {
+                write!(f, "pad lane {lane} needs a {}λ region", 12 + 8 * lane)
+            }
         }
     }
 }
@@ -185,6 +243,7 @@ impl BitCellSpec {
             slots: Vec::new(),
             chains: Vec::new(),
             region_heights: [12, 12, 12],
+            pad_lane: 0,
             power_ua: 50,
             reprs: CellReprs::default(),
         }
@@ -224,7 +283,35 @@ impl BitCellSpec {
                 return Err(FrameError::RegionTooSmall(h));
             }
         }
+        if self.pad_lane < 0 {
+            return Err(FrameError::PadLaneDoesNotFit { lane: self.pad_lane });
+        }
         let n = self.slots.len();
+        // Inverter layout discipline: plates two slots away on opposite
+        // sides, gaps adjacent (the gate and output branches cross them).
+        for (k, slot) in self.slots.iter().enumerate() {
+            let Slot::Inverter { input, output } = slot else {
+                continue;
+            };
+            let bad = |reason: &'static str| FrameError::BadInverter { slot: k, reason };
+            let (lo, hi) = (k.checked_sub(2), k + 2);
+            let valid_pair = lo.is_some_and(|lo| {
+                (*input == lo && *output == hi) || (*input == hi && *output == lo)
+            });
+            if !valid_pair {
+                return Err(bad("input and output must sit 2 slots away on opposite sides"));
+            }
+            for s in [*input, *output] {
+                if !matches!(self.slots.get(s), Some(Slot::Plate { .. })) {
+                    return Err(bad("input/output slots must be plates"));
+                }
+            }
+            for s in [k - 1, k + 1] {
+                if !matches!(self.slots.get(s), Some(Slot::Gap)) {
+                    return Err(bad("slots adjacent to an inverter must be gaps"));
+                }
+            }
+        }
         for (ci, c) in self.chains.iter().enumerate() {
             if c.from_slot > c.to_slot {
                 return Err(FrameError::ReversedChain(ci));
@@ -284,7 +371,57 @@ impl BitCellSpec {
                 }
             }
         }
+        // Inverter strips are diffusion too: every chain body and tap must
+        // clear them by the same 3λ.
+        for (k, slot) in self.slots.iter().enumerate() {
+            if !matches!(slot, Slot::Inverter { .. }) {
+                continue;
+            }
+            let strip = self.inverter_diff_rects(k);
+            for (ci, rects) in &geoms {
+                for a in rects {
+                    for b in &strip {
+                        if a.overlaps(b) || a.spacing(b) < 3 {
+                            return Err(FrameError::ChainHitsInverter {
+                                chain: *ci,
+                                slot: k,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // PadEast lanes must fit under the next track.
+        if self.pad_lane > 0 {
+            for c in &self.chains {
+                if matches!(c.right, Tap::PadEast(..)) {
+                    let region = match c.region {
+                        Region::GndBusA => 0,
+                        Region::BusABusB => 1,
+                        Region::BusBVdd => 2,
+                    };
+                    if self.region_heights[region] < 12 + 8 * self.pad_lane {
+                        return Err(FrameError::PadLaneDoesNotFit {
+                            lane: self.pad_lane,
+                        });
+                    }
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Diffusion footprint of an inverter at slot `k`: the strip plus the
+    /// widened rail contact pads (used by validation).
+    fn inverter_diff_rects(&self, k: usize) -> Vec<bristle_geom::Rect> {
+        use bristle_geom::Rect;
+        let t = self.tracks();
+        let x = BitCellSpec::slot_x(k);
+        vec![
+            Rect::new(x, t.gnd_y - 1, x + 2, t.vdd_y + 1),
+            Rect::new(x - 1, t.gnd_y - 2, x + 3, t.gnd_y + 2),
+            Rect::new(x - 1, t.vdd_y - 2, x + 3, t.vdd_y + 2),
+        ]
     }
 
     /// Approximate diffusion footprint of a chain: body plus tap pads
@@ -298,6 +435,11 @@ impl BitCellSpec {
         let mut rects = vec![Rect::new(x0, y0, x1, y1)];
         for (left_end, tap) in [(true, &c.left), (false, &c.right)] {
             let sx = if left_end { x0 } else { x1 - 2 };
+            if matches!(tap, Tap::PadEast(..)) {
+                // The raised-contact riser grows with the escape lane.
+                rects.push(Rect::new(sx - 1, y1, sx + 3, y1 + 8 * self.pad_lane + 5));
+                continue;
+            }
             let ty = match tap {
                 Tap::Gnd => t.gnd_y,
                 Tap::BusA => t.bus_a_y,
@@ -432,6 +574,69 @@ impl BitCellSpec {
                         Flavor::Signal,
                     ));
                 }
+                Slot::Inverter { input, output } => {
+                    // The verified nMOS inverter pattern from the control
+                    // buffer / PLA drivers, rotated into the frame: a
+                    // vertical diffusion strip from GND to VDD, the
+                    // enhancement driver gated by the input plate low in
+                    // region 1, the output node tapped by a buried
+                    // contact, and the depletion pull-up (implant, gate
+                    // tied to the output) tucked under the bus A track.
+                    let out_x = BitCellSpec::slot_x(*output);
+                    let in_x = BitCellSpec::slot_x(*input);
+                    // Strip + widened rail contact pads — the same rects
+                    // the chain-clearance validation models.
+                    for r in self.inverter_diff_rects(k) {
+                        cell.push_shape(Shape::rect(Layer::Diffusion, r));
+                    }
+                    for ty in [t.gnd_y, t.vdd_y] {
+                        cell.push_shape(Shape::rect(
+                            Layer::Contact,
+                            Rect::new(x, ty - 1, x + 2, ty + 1),
+                        ));
+                    }
+                    // Enhancement driver: poly branch from the input
+                    // plate across the strip, low in region 1 (below the
+                    // chain lane).
+                    let ey = t.gnd_y + 3;
+                    let enh = if in_x > x {
+                        Rect::new(x - 2, ey, in_x + 2, ey + 2)
+                    } else {
+                        Rect::new(in_x, ey, x + 4, ey + 2)
+                    };
+                    cell.push_shape(Shape::rect(Layer::Poly, enh));
+                    // Output takeoff: poly branch from the output plate
+                    // across the strip, joined to the output node by a
+                    // buried contact, continuing past the strip to the
+                    // gate-tie column.
+                    let oy = t.gnd_y + 9;
+                    let (branch, tie, dep) = if out_x < x {
+                        (
+                            Rect::new(out_x, oy, x + 5, oy + 2),
+                            Rect::new(x + 3, oy, x + 5, t.bus_a_y + 1),
+                            Rect::new(x - 2, t.bus_a_y - 1, x + 5, t.bus_a_y + 1),
+                        )
+                    } else {
+                        (
+                            Rect::new(x - 3, oy, out_x + 2, oy + 2),
+                            Rect::new(x - 3, oy, x - 1, t.bus_a_y + 1),
+                            Rect::new(x - 3, t.bus_a_y - 1, x + 4, t.bus_a_y + 1),
+                        )
+                    };
+                    cell.push_shape(Shape::rect(Layer::Poly, branch));
+                    cell.push_shape(Shape::rect(
+                        Layer::Buried,
+                        Rect::new(x, oy, x + 2, oy + 2),
+                    ));
+                    // Depletion pull-up: gate tied to the output node via
+                    // the tie column, implant surrounding the channel.
+                    cell.push_shape(Shape::rect(Layer::Poly, tie));
+                    cell.push_shape(Shape::rect(Layer::Poly, dep));
+                    cell.push_shape(Shape::rect(
+                        Layer::Implant,
+                        Rect::new(x - 1, t.bus_a_y - 2, x + 3, t.bus_a_y + 2),
+                    ));
+                }
                 Slot::Gap => {}
             }
         }
@@ -461,23 +666,26 @@ impl BitCellSpec {
                     Tap::PadEast(kind, name) => {
                         // Raised contact above the chain (clearing the
                         // track below by 3λ), then a metal wire east to
-                        // the cell edge.
+                        // the cell edge. The escape lane index lifts the
+                        // wire 8λ per lane so same-kind ports on one chip
+                        // keep their wires ≥ 7λ apart.
+                        let ly = y1 + 8 * self.pad_lane;
                         cell.push_shape(Shape::rect(
                             Layer::Diffusion,
-                            Rect::new(sx - 1, y1, sx + 3, y1 + 5),
+                            Rect::new(sx - 1, y1, sx + 3, ly + 5),
                         ));
                         cell.push_shape(Shape::rect(
                             Layer::Contact,
-                            Rect::new(sx, y1 + 1, sx + 2, y1 + 3),
+                            Rect::new(sx, ly + 1, sx + 2, ly + 3),
                         ));
                         cell.push_shape(
-                            Shape::rect(Layer::Metal, Rect::new(sx - 1, y1, w, y1 + 4))
+                            Shape::rect(Layer::Metal, Rect::new(sx - 1, ly, w, ly + 4))
                                 .with_label(name.clone()),
                         );
                         cell.push_bristle(Bristle::new(
                             name.clone(),
                             Layer::Metal,
-                            Point::new(w, y1 + 2),
+                            Point::new(w, ly + 2),
                             Side::East,
                             Flavor::Pad(*kind),
                         ));
@@ -520,7 +728,15 @@ impl BitCellSpec {
         cell.add_stretch_y(t.bus_a_y + r2 + 1);
         cell.add_stretch_y(t.bus_b_y + r3 + 1);
 
-        cell.set_power(PowerInfo::new(self.power_ua));
+        // Power: the declared dynamic estimate plus the DC draw of every
+        // ratioed inverter (its depletion load conducts while the output
+        // is low).
+        let inverters = self
+            .slots
+            .iter()
+            .filter(|s| matches!(s, Slot::Inverter { .. }))
+            .count();
+        cell.set_power(PowerInfo::with_inverters(self.power_ua, inverters));
         *cell.reprs_mut() = self.reprs.clone();
         Ok(cell)
     }
@@ -667,6 +883,203 @@ mod tests {
         let mut s = demo_spec();
         s.region_heights = [6, 12, 12];
         assert!(matches!(s.build(), Err(FrameError::RegionTooSmall(6))));
+    }
+
+    /// A restoring-read demo cell: storage plate feeds an in-frame
+    /// inverter whose output gates the read chain, so a read *asserts*
+    /// the stored value onto the precharged bus.
+    fn restoring_spec() -> BitCellSpec {
+        let mut s = BitCellSpec::new("restore_bit");
+        s.slots = vec![
+            ctl("rd"),
+            Slot::Plate {
+                name: "nstore".into(),
+            },
+            Slot::Gap,
+            Slot::Inverter {
+                input: 5,
+                output: 1,
+            },
+            Slot::Gap,
+            Slot::Plate {
+                name: "store".into(),
+            },
+            ctl("ld"),
+        ];
+        s.chains = vec![
+            // Read: rd & ~store discharge bus A — i.e. the bus shows
+            // `store` after precharge.
+            Chain {
+                region: Region::GndBusA,
+                from_slot: 0,
+                to_slot: 1,
+                left: Tap::BusA,
+                right: Tap::Gnd,
+            },
+            // Write: bus A through ld onto the storage plate.
+            Chain {
+                region: Region::BusABusB,
+                from_slot: 5,
+                to_slot: 6,
+                left: Tap::Plate,
+                right: Tap::BusA,
+            },
+        ];
+        s
+    }
+
+    #[test]
+    fn restoring_cell_is_drc_clean() {
+        let cell = restoring_spec().build().unwrap();
+        let mut lib = Library::new("t");
+        let id = lib.add_cell(cell).unwrap();
+        let report = check_flat(&lib, id, &RuleSet::mead_conway());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn restoring_cell_extracts_inverter() {
+        use bristle_extract::TransistorKind;
+        let cell = restoring_spec().build().unwrap();
+        let mut lib = Library::new("t");
+        let id = lib.add_cell(cell).unwrap();
+        let n = extract(&lib, id);
+        // rd + nstore (read), ld (write), inverter driver + load.
+        assert_eq!(n.transistors.len(), 5, "{n}");
+        let dep = n
+            .transistors
+            .iter()
+            .filter(|t| t.kind == TransistorKind::Depletion)
+            .count();
+        assert_eq!(dep, 1, "{n}");
+    }
+
+    #[test]
+    fn restoring_read_asserts_stored_value() {
+        use bristle_sim::{Level, SwitchSim};
+        let cell = restoring_spec().build().unwrap();
+        let mut lib = Library::new("t");
+        let id = lib.add_cell(cell).unwrap();
+        let n = extract(&lib, id);
+        let mut sim = SwitchSim::new(&n);
+        sim.preset_all(Level::L0);
+        sim.set_input("rd", Level::L0).unwrap();
+        sim.set_input("ld", Level::L0).unwrap();
+        sim.settle().unwrap();
+        // Inverter restores the zeroed plate to a high output.
+        assert_eq!(sim.level("nstore").unwrap(), Level::L1);
+        for bit in [Level::L1, Level::L0] {
+            // Write `bit`.
+            sim.set_input("BUSA", bit).unwrap();
+            sim.set_input("ld", Level::L1).unwrap();
+            sim.settle().unwrap();
+            sim.set_input("ld", Level::L0).unwrap();
+            sim.settle().unwrap();
+            assert_eq!(sim.level("store").unwrap(), bit);
+            // Precharge the bus, release, then read: the bus must show
+            // the stored value directly (non-inverting).
+            sim.set_input("BUSA", Level::L1).unwrap();
+            sim.settle().unwrap();
+            sim.release_input("BUSA").unwrap();
+            sim.set_input("rd", Level::L1).unwrap();
+            sim.settle().unwrap();
+            assert_eq!(sim.level("BUSA").unwrap(), bit, "restored read of {bit}");
+            sim.set_input("rd", Level::L0).unwrap();
+            sim.settle().unwrap();
+        }
+    }
+
+    #[test]
+    fn restoring_cell_stretches_clean() {
+        let cell = restoring_spec().build().unwrap();
+        let ts = TrackSet::from_cell(&cell).unwrap();
+        let taller = TrackSet {
+            gnd_y: ts.gnd_y,
+            bus_a_y: ts.bus_a_y + 6,
+            bus_b_y: ts.bus_b_y + 10,
+            vdd_y: ts.vdd_y + 14,
+            top: ts.top + 14,
+        };
+        let std = InterfaceStd::from_tracks(&[ts, taller], 4, 4);
+        let mut lib = Library::new("t");
+        let id = lib.add_cell(cell).unwrap();
+        let lines = lib.cell(id).stretch_y().to_vec();
+        let plan = std.plan_alignment(&ts, &lines, "restore_bit").unwrap();
+        bristle_cell::stretch::apply_plan(lib.cell_mut(id), bristle_geom::Axis::Y, &plan);
+        std.check(lib.cell(id)).unwrap();
+        let report = check_flat(&lib, id, &RuleSet::mead_conway());
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(extract(&lib, id).transistors.len(), 5);
+    }
+
+    #[test]
+    fn inverter_validation() {
+        // Input not a plate.
+        let mut s = restoring_spec();
+        s.slots[5] = Slot::Gap;
+        assert!(matches!(s.build(), Err(FrameError::BadInverter { .. })));
+        // Adjacent slot not a gap.
+        let mut s = restoring_spec();
+        s.slots[2] = ctl("x");
+        assert!(matches!(s.build(), Err(FrameError::BadInverter { .. })));
+        // Wrong distance.
+        let mut s = restoring_spec();
+        s.slots[3] = Slot::Inverter {
+            input: 5,
+            output: 0,
+        };
+        assert!(matches!(s.build(), Err(FrameError::BadInverter { .. })));
+        // A chain reaching within 3λ of the strip.
+        let mut s = restoring_spec();
+        s.chains[0].to_slot = 2;
+        assert!(matches!(
+            s.build(),
+            Err(FrameError::ChainHitsInverter { chain: 0, slot: 3 })
+        ));
+    }
+
+    #[test]
+    fn pad_lane_lifts_escape_wire() {
+        use bristle_cell::PadKind;
+        let mk = |lane: i64| {
+            let mut s = BitCellSpec::new("port_bit");
+            s.slots = vec![ctl("drv"), Slot::Gap];
+            s.chains = vec![Chain {
+                region: Region::BusABusB,
+                from_slot: 0,
+                to_slot: 0,
+                left: Tap::BusA,
+                right: Tap::PadEast(PadKind::Input, "pad_in".into()),
+            }];
+            s.pad_lane = lane;
+            s.region_heights = [12, 12 + 8 * lane, 12];
+            s
+        };
+        let b0 = mk(0).build().unwrap();
+        let b1 = mk(1).build().unwrap();
+        let pad_y = |c: &Cell| {
+            c.bristles()
+                .iter()
+                .find(|b| matches!(b.flavor, Flavor::Pad(_)))
+                .unwrap()
+                .pos
+                .y
+        };
+        assert_eq!(pad_y(&b1) - pad_y(&b0), 8, "lane 1 sits 8λ higher");
+        // Both DRC-clean.
+        for cell in [b0, b1] {
+            let mut lib = Library::new("t");
+            let id = lib.add_cell(cell).unwrap();
+            let report = check_flat(&lib, id, &RuleSet::mead_conway());
+            assert!(report.is_clean(), "{report}");
+        }
+        // A lane that does not fit its region is rejected.
+        let mut s = mk(1);
+        s.region_heights = [12, 12, 12];
+        assert!(matches!(
+            s.build(),
+            Err(FrameError::PadLaneDoesNotFit { lane: 1 })
+        ));
     }
 
     #[test]

@@ -10,11 +10,19 @@
 //!    words: the machine via [`Machine::step_word`], the silicon by
 //!    driving the decoded control columns and the φ1/φ2 clock columns
 //!    and settling the switch-level network once per phase,
-//! 4. asserts, every cycle: the physical buses match the prediction
-//!    derived from machine state (φ1), both buses precharge back to
-//!    all-ones (φ2), every register's `storeA`/`storeB` plate words
-//!    equal the machine's registers, and output-port pad words equal
-//!    the machine's pads.
+//! 4. asserts, every cycle: **direct bus equality** — the settled φ1
+//!    buses equal the machine's buses bit for bit (the restoring read
+//!    path asserts stored words, so no inverting abstraction is
+//!    needed) — both buses precharge back to all-ones (φ2), every
+//!    register's `storeA`/`storeB` plates, every RAM word's `cell`
+//!    plates and every stack level's `level` plates equal the machine's
+//!    state, and output-port pad words equal the machine's pads.
+//!
+//! Under the `LEGACY_INVERTING_READ` spec flag the pre-inverter cell
+//! library is compiled instead, and the φ1 bus check falls back to the
+//! inverting-read prediction (precharged ones ANDed with pad words and
+//! `~r` per asserted read); RAM and stack ride along passively. The
+//! flag exists for one migration release.
 //!
 //! The silicon is initialized with an explicit power-on preset
 //! (all nodes low) so dynamic storage starts equal to the machine's
@@ -158,6 +166,11 @@ pub fn run_cosim_with(
     if let Some(f) = fault {
         f.apply(&mut netlist);
     }
+    let legacy = spec
+        .flags
+        .get(bristle_core::LEGACY_INVERTING_READ)
+        .copied()
+        .unwrap_or(false);
     let mut machine = chip.simulation()?;
     let controls = element_controls(&chip);
     let mut bridge = NetlistBridge::new(&netlist, spec.data_width)?;
@@ -177,8 +190,10 @@ pub fn run_cosim_with(
             bridge.drive_group(prefix, local, Level::L0)?;
         }
     }
-    bridge.drive_word(&program.inport, "pad_in", 0)?;
-    machine.set_pad(format!("{}_pad", program.inport), 0);
+    for p in &program.inports {
+        bridge.drive_word(p, "pad_in", 0)?;
+        machine.set_pad(format!("{p}_pad"), 0);
+    }
     bridge.drive_clocks("phi1", Level::L0);
     bridge.drive_clocks("phi2", Level::L1);
     bridge.settle()?;
@@ -201,26 +216,32 @@ pub fn run_cosim_with(
             })
         };
 
-        // Pads for this cycle.
-        let pad = cycle.inport.unwrap_or(0);
-        bridge.drive_word(&program.inport, "pad_in", pad)?;
-        machine.set_pad(format!("{}_pad", program.inport), pad);
-
-        // The physical-bus prediction needs the machine's *pre-cycle*
-        // register state (plates hold last cycle's values during φ1).
-        let mut exp_bus_a = mask;
-        let mut exp_bus_b = mask;
-        if cycle.inport.is_some() {
-            exp_bus_a &= pad;
+        // Pads for this cycle (undriven ports idle at 0; their `drv`
+        // stays off, so the value never reaches the bus).
+        for p in &program.inports {
+            let pad = cycle.inports.get(p).copied().unwrap_or(0);
+            bridge.drive_word(p, "pad_in", pad)?;
+            machine.set_pad(format!("{p}_pad"), pad);
         }
-        for (prefix, ops) in &cycle.regs {
-            if let Some(r) = ops.read_a {
-                let v = machine.peek(prefix, &format!("r{r}"))?;
-                exp_bus_a &= !v & mask;
+
+        // Legacy relation only: predict the physical buses from the
+        // machine's *pre-cycle* state — reads are inverting at switch
+        // level, so the bus shows `AND(~rᵢ)` where the machine drives
+        // `AND(rᵢ)`.
+        let (mut exp_bus_a, mut exp_bus_b) = (mask, mask);
+        if legacy {
+            for pad in cycle.inports.values() {
+                exp_bus_a &= pad;
             }
-            if let Some(r) = ops.read_b {
-                let v = machine.peek(prefix, &format!("r{r}"))?;
-                exp_bus_b &= !v & mask;
+            for (prefix, ops) in &cycle.regs {
+                if let Some(r) = ops.read_a {
+                    let v = machine.peek(prefix, &format!("r{r}"))?;
+                    exp_bus_a &= !v & mask;
+                }
+                if let Some(r) = ops.read_b {
+                    let v = machine.peek(prefix, &format!("r{r}"))?;
+                    exp_bus_b &= !v & mask;
+                }
             }
         }
 
@@ -240,24 +261,38 @@ pub fn run_cosim_with(
         bridge.settle()?;
 
         let phys_a = bridge.read_bus(0);
-        if phys_a != Ok(exp_bus_a) {
-            return Err(diverge("phi1-bus", "busA", exp_bus_a, &phys_a));
-        }
         let phys_b = bridge.read_bus(1);
-        if phys_b != Ok(exp_bus_b) {
-            return Err(diverge("phi1-bus", "busB", exp_bus_b, &phys_b));
-        }
-        checks += 2;
 
-        // Step the functional machine (its step covers φ1 + φ2). On a
-        // pure write cycle the machine's bus A and the silicon's agree
-        // exactly — assert that too (true direct equivalence).
+        // Step the functional machine (its step covers φ1 + φ2).
         let mach_buses = machine.step_word(word)?;
-        if !cycle.has_reads() && cycle.inport.is_some() {
-            if mach_buses[0] != exp_bus_a {
-                return Err(diverge("phi1-machine-bus", "busA", mach_buses[0], &phys_a));
+
+        if legacy {
+            if phys_a != Ok(exp_bus_a) {
+                return Err(diverge("phi1-bus", "busA", exp_bus_a, &phys_a));
             }
-            checks += 1;
+            if phys_b != Ok(exp_bus_b) {
+                return Err(diverge("phi1-bus", "busB", exp_bus_b, &phys_b));
+            }
+            checks += 2;
+            // On a pure write cycle the machine's bus A and the
+            // silicon's agree exactly even in the inverting dialect.
+            if !cycle.has_reads() && !cycle.inports.is_empty() {
+                if mach_buses[0] != exp_bus_a {
+                    return Err(diverge("phi1-machine-bus", "busA", mach_buses[0], &phys_a));
+                }
+                checks += 1;
+            }
+        } else {
+            // Direct bus equality: the restoring read path asserts
+            // stored words, so silicon and machine buses must agree bit
+            // for bit on every cycle — reads, writes and idles alike.
+            if phys_a != Ok(mach_buses[0]) {
+                return Err(diverge("phi1-bus", "busA", mach_buses[0], &phys_a));
+            }
+            if phys_b != Ok(mach_buses[1]) {
+                return Err(diverge("phi1-bus", "busB", mach_buses[1], &phys_b));
+            }
+            checks += 2;
         }
 
         // φ2: controls down except φ2-phase decodes, clocks swap, settle.
@@ -285,22 +320,48 @@ pub fn run_cosim_with(
         }
 
         // Storage equivalence: every register's plates equal the
-        // machine's registers (both plates are written from bus A).
+        // machine's registers (both plates are written from bus A), and
+        // in the restoring library RAM words and stack levels
+        // co-simulate actively — their plates must match too.
         for (eidx, e) in spec.elements.iter().enumerate() {
-            if e.kind != "registers" {
-                continue;
-            }
             let prefix = format!("e{eidx}_{}", e.kind);
-            let count = e.params.get("count").copied().unwrap_or(2) as usize;
-            for r in 0..count {
-                let want = machine.peek(&prefix, &format!("r{r}"))?;
-                for plate in ["storeA", "storeB"] {
-                    let got = bridge.read_column_word(&prefix, plate, r as u32);
-                    if got != Ok(want) {
-                        return Err(diverge(plate, &prefix, want, &got));
+            match e.kind.as_str() {
+                "registers" => {
+                    let count = e.params.get("count").copied().unwrap_or(2) as usize;
+                    for r in 0..count {
+                        let want = machine.peek(&prefix, &format!("r{r}"))?;
+                        for plate in ["storeA", "storeB"] {
+                            let got = bridge.read_column_word(&prefix, plate, r as u32);
+                            if got != Ok(want) {
+                                return Err(diverge(plate, &prefix, want, &got));
+                            }
+                            checks += 1;
+                        }
                     }
-                    checks += 1;
                 }
+                "ram" if !legacy => {
+                    let words = e.params.get("words").copied().unwrap_or(4) as usize;
+                    for w in 0..words {
+                        let want = machine.peek(&prefix, &format!("m{w}"))?;
+                        let got = bridge.read_column_word(&prefix, "cell", w as u32);
+                        if got != Ok(want) {
+                            return Err(diverge("ram-cell", &prefix, want, &got));
+                        }
+                        checks += 1;
+                    }
+                }
+                "stack" if !legacy => {
+                    let depth = e.params.get("depth").copied().unwrap_or(4) as usize;
+                    for l in 0..depth {
+                        let want = machine.peek(&prefix, &format!("s{l}"))?;
+                        let got = bridge.read_column_word(&prefix, "level", l as u32);
+                        if got != Ok(want) {
+                            return Err(diverge("stack-level", &prefix, want, &got));
+                        }
+                        checks += 1;
+                    }
+                }
+                _ => {}
             }
         }
 

@@ -1,17 +1,30 @@
 //! Randomized microcode transfer programs.
 //!
 //! A program is a sequence of [`Cycle`]s over the transfer-faithful
-//! subset of the instruction set: every cycle is either a **write**
-//! (the input port drives bus A with a fresh random pad word; register
-//! loads and output-port loads may sample it), a **read** (register read
-//! selects discharge the buses; the input port may co-drive bus A), or
-//! **idle**. Loads never coincide with register reads: a load from a
-//! read-driven bus would store the silicon's inverted read dialect into
-//! a plate, deliberately diverging storage from the functional model.
+//! instruction subset: every cycle is either a **write** (one or more
+//! input ports drive bus A with fresh random pad words; register loads,
+//! RAM writes, stack pushes and output-port loads may sample it), a
+//! **read** (register reads, RAM reads and stack pops assert stored
+//! words onto the buses; input ports may co-drive bus A), or **idle**.
+//!
+//! Loads/writes never coincide with reads: with the restoring read path
+//! a read *asserts* the stored word, but bus bits reading 1 are merely
+//! charged (the precharge survives), and the switch-level charge rule —
+//! stored charge never conducts — means a plate sampled from a charged
+//! bus would hold its old value instead. Writes therefore only sample
+//! actively driven buses, on both sides of the differential fence.
+//!
+//! The stack is sp-faithful: the generator tracks a model stack pointer
+//! per stack element and encodes the decoded target level into the
+//! `_sp` microcode field, exactly as a real microcode author would.
 //!
 //! Generation is prefix-stable: the first `k` cycles of a longer program
 //! generated from the same seed are identical, which is what lets the
 //! shrinker truncate programs without re-rolling earlier cycles.
+//!
+//! Under the `LEGACY_INVERTING_READ` spec flag, RAM and stack ops are
+//! not generated (the legacy cells are not `sel`-gated), matching the
+//! pre-inverter co-sim subset.
 
 use std::collections::BTreeMap;
 
@@ -33,24 +46,60 @@ pub struct RegOps {
     pub load: Option<usize>,
 }
 
+/// Per-cycle intent for one RAM element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Assert word `i` onto bus A (`sel` + `rd`).
+    Read(usize),
+    /// Sample bus A into word `i` (`selw` + `wr`).
+    Write(usize),
+}
+
+/// Per-cycle intent for one stack element, with the decoded level the
+/// generator's sp model selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackOp {
+    /// Sample bus A into level `i` (= model sp before the push).
+    Push(usize),
+    /// Assert level `i` (= model sp − 1) onto bus A.
+    Pop(usize),
+}
+
 /// One clock cycle of a transfer program.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Cycle {
     /// Per register-element ops, keyed by element prefix.
     pub regs: BTreeMap<String, RegOps>,
-    /// Input-port pad word driven this cycle (`drv` asserted), if any.
-    pub inport: Option<u64>,
+    /// Pad words driven this cycle (`drv` asserted), keyed by input-port
+    /// prefix. Multiple driving ports wired-AND on bus A.
+    pub inports: BTreeMap<String, u64>,
     /// Output-port prefixes latching bus A this cycle.
     pub outport_lds: Vec<String>,
+    /// Per RAM-element op, keyed by prefix.
+    pub rams: BTreeMap<String, MemOp>,
+    /// Per stack-element op, keyed by prefix.
+    pub stacks: BTreeMap<String, StackOp>,
 }
 
 impl Cycle {
-    /// True if any register read select is asserted.
+    /// True if any read select is asserted (register read, RAM read or
+    /// stack pop).
     #[must_use]
     pub fn has_reads(&self) -> bool {
         self.regs
             .values()
             .any(|r| r.read_a.is_some() || r.read_b.is_some())
+            || self.rams.values().any(|m| matches!(m, MemOp::Read(_)))
+            || self.stacks.values().any(|s| matches!(s, StackOp::Pop(_)))
+    }
+
+    /// True if any storage element samples the bus this cycle.
+    #[must_use]
+    pub fn has_loads(&self) -> bool {
+        self.regs.values().any(|r| r.load.is_some())
+            || !self.outport_lds.is_empty()
+            || self.rams.values().any(|m| matches!(m, MemOp::Write(_)))
+            || self.stacks.values().any(|s| matches!(s, StackOp::Push(_)))
     }
 }
 
@@ -61,30 +110,55 @@ pub struct Program {
     pub cycles: Vec<Cycle>,
     /// Register element prefixes and their register counts.
     pub reg_elements: Vec<(String, usize)>,
-    /// The input-port element prefix (co-sim specs have exactly one).
-    pub inport: String,
+    /// Input-port element prefixes (co-sim specs have at least one; the
+    /// first is the primary driver).
+    pub inports: Vec<String>,
     /// Output-port element prefixes.
     pub outports: Vec<String>,
+    /// RAM element prefixes and word counts.
+    pub rams: Vec<(String, usize)>,
+    /// Stack element prefixes and depths.
+    pub stacks: Vec<(String, usize)>,
 }
 
 /// Element prefixes as the compiler assigns them (`e<i>_<kind>`).
-fn prefixes(spec: &ChipSpec) -> (Vec<(String, usize)>, Option<String>, Vec<String>) {
-    let mut regs = Vec::new();
-    let mut inport = None;
-    let mut outports = Vec::new();
+struct Prefixes {
+    regs: Vec<(String, usize)>,
+    inports: Vec<String>,
+    outports: Vec<String>,
+    rams: Vec<(String, usize)>,
+    stacks: Vec<(String, usize)>,
+}
+
+fn prefixes(spec: &ChipSpec) -> Prefixes {
+    let mut p = Prefixes {
+        regs: Vec::new(),
+        inports: Vec::new(),
+        outports: Vec::new(),
+        rams: Vec::new(),
+        stacks: Vec::new(),
+    };
     for (i, e) in spec.elements.iter().enumerate() {
         let prefix = format!("e{i}_{}", e.kind);
         match e.kind.as_str() {
             "registers" => {
                 let count = e.params.get("count").copied().unwrap_or(2) as usize;
-                regs.push((prefix, count));
+                p.regs.push((prefix, count));
             }
-            "inport" => inport = Some(prefix),
-            "outport" => outports.push(prefix),
+            "inport" => p.inports.push(prefix),
+            "outport" => p.outports.push(prefix),
+            "ram" => {
+                let words = e.params.get("words").copied().unwrap_or(4) as usize;
+                p.rams.push((prefix, words));
+            }
+            "stack" => {
+                let depth = e.params.get("depth").copied().unwrap_or(4) as usize;
+                p.stacks.push((prefix, depth));
+            }
             _ => {}
         }
     }
-    (regs, inport, outports)
+    p
 }
 
 impl Program {
@@ -96,42 +170,69 @@ impl Program {
     /// co-sim specs guarantee both.
     #[must_use]
     pub fn random(spec: &ChipSpec, seed: u64, cycles: usize) -> Program {
-        let (reg_elements, inport, outports) = prefixes(spec);
-        let inport = inport.expect("cosim spec must carry an inport");
+        let p = prefixes(spec);
+        assert!(!p.inports.is_empty(), "cosim spec must carry an inport");
         assert!(
-            !reg_elements.is_empty(),
+            !p.regs.is_empty(),
             "cosim spec must carry a register element"
         );
+        let legacy = spec
+            .flags
+            .get(bristle_core::LEGACY_INVERTING_READ)
+            .copied()
+            .unwrap_or(false);
         let mut rng = Rng::new(seed);
         let mask = if spec.data_width == 64 {
             u64::MAX
         } else {
             (1u64 << spec.data_width) - 1
         };
+        // Model stack pointers, one per stack element, evolved alongside
+        // generation so the encoded `_sp` level is always the real one.
+        let mut sps: Vec<usize> = vec![0; p.stacks.len()];
         let mut out = Vec::with_capacity(cycles);
         for _ in 0..cycles {
             let mut c = Cycle::default();
             match rng.range_u64(0, 8) {
                 // Write cycle (most common: it creates the state the
-                // read cycles then cross-check).
+                // read cycles then cross-check). The primary inport
+                // always drives; extra inports join by chance.
                 0..=3 => {
-                    c.inport = Some(rng.next() & mask);
-                    for (p, count) in &reg_elements {
+                    for (k, pfx) in p.inports.iter().enumerate() {
+                        if k == 0 || rng.chance(1, 3) {
+                            c.inports.insert(pfx.clone(), rng.next() & mask);
+                        }
+                    }
+                    for (pfx, count) in &p.regs {
                         if rng.chance(2, 3) {
-                            c.regs.entry(p.clone()).or_default().load =
+                            c.regs.entry(pfx.clone()).or_default().load =
                                 Some(rng.range_u64(0, *count as u64) as usize);
                         }
                     }
-                    for p in &outports {
+                    if !legacy {
+                        for (pfx, words) in &p.rams {
+                            if rng.chance(1, 3) {
+                                let w = rng.range_u64(0, *words as u64) as usize;
+                                c.rams.insert(pfx.clone(), MemOp::Write(w));
+                            }
+                        }
+                        for (si, (pfx, depth)) in p.stacks.iter().enumerate() {
+                            if sps[si] < *depth && rng.chance(1, 3) {
+                                c.stacks.insert(pfx.clone(), StackOp::Push(sps[si]));
+                                sps[si] += 1;
+                            }
+                        }
+                    }
+                    for pfx in &p.outports {
                         if rng.chance(1, 2) {
-                            c.outport_lds.push(p.clone());
+                            c.outport_lds.push(pfx.clone());
                         }
                     }
                 }
-                // Read cycle: random selects, optional co-driving pad.
+                // Read cycle: random selects, optional co-driving pads.
                 4..=6 => {
-                    for (p, count) in &reg_elements {
-                        let ops = c.regs.entry(p.clone()).or_default();
+                    for (pfx, count) in &p.regs {
+                        let ops = c.regs.entry(pfx.clone()).or_default();
                         if rng.chance(2, 3) {
                             ops.read_a = Some(rng.range_u64(0, *count as u64) as usize);
                         }
@@ -139,8 +240,24 @@ impl Program {
                             ops.read_b = Some(rng.range_u64(0, *count as u64) as usize);
                         }
                     }
-                    if rng.chance(1, 3) {
-                        c.inport = Some(rng.next() & mask);
+                    if !legacy {
+                        for (pfx, words) in &p.rams {
+                            if rng.chance(1, 3) {
+                                let w = rng.range_u64(0, *words as u64) as usize;
+                                c.rams.insert(pfx.clone(), MemOp::Read(w));
+                            }
+                        }
+                        for (si, (pfx, _)) in p.stacks.iter().enumerate() {
+                            if sps[si] > 0 && rng.chance(1, 3) {
+                                sps[si] -= 1;
+                                c.stacks.insert(pfx.clone(), StackOp::Pop(sps[si]));
+                            }
+                        }
+                    }
+                    for pfx in &p.inports {
+                        if rng.chance(1, 3) {
+                            c.inports.insert(pfx.clone(), rng.next() & mask);
+                        }
                     }
                 }
                 // Idle cycle.
@@ -150,9 +267,11 @@ impl Program {
         }
         Program {
             cycles: out,
-            reg_elements,
-            inport,
-            outports,
+            reg_elements: p.regs,
+            inports: p.inports,
+            outports: p.outports,
+            rams: p.rams,
+            stacks: p.stacks,
         }
     }
 
@@ -175,11 +294,27 @@ impl Program {
                 fields.push((format!("{p}_ld"), r as u64 + 1));
             }
         }
-        if cycle.inport.is_some() {
-            fields.push((format!("{}_io", self.inport), 1));
+        for p in cycle.inports.keys() {
+            fields.push((format!("{p}_io"), 1));
         }
         for p in &cycle.outport_lds {
             fields.push((format!("{p}_io"), 1));
+        }
+        for (p, op) in &cycle.rams {
+            let (word, rw) = match op {
+                MemOp::Write(w) => (*w, 1),
+                MemOp::Read(w) => (*w, 2),
+            };
+            fields.push((format!("{p}_sel"), word as u64 + 1));
+            fields.push((format!("{p}_rw"), rw));
+        }
+        for (p, op) in &cycle.stacks {
+            let (level, stk) = match op {
+                StackOp::Push(l) => (*l, 1),
+                StackOp::Pop(l) => (*l, 2),
+            };
+            fields.push((format!("{p}_sp"), level as u64 + 1));
+            fields.push((format!("{p}_stk"), stk));
         }
         let refs: Vec<(&str, u64)> = fields.iter().map(|(n, v)| (n.as_str(), *v)).collect();
         mc.encode(&refs)
@@ -191,8 +326,10 @@ impl Program {
         Program {
             cycles: self.cycles[..n.min(self.cycles.len())].to_vec(),
             reg_elements: self.reg_elements.clone(),
-            inport: self.inport.clone(),
+            inports: self.inports.clone(),
             outports: self.outports.clone(),
+            rams: self.rams.clone(),
+            stacks: self.stacks.clone(),
         }
     }
 }
@@ -217,12 +354,55 @@ mod tests {
             let spec = SpecGen::random_cosim_spec(&mut Rng::new(seed), "p");
             let prog = Program::random(&spec, seed * 7 + 1, 30);
             for c in &prog.cycles {
-                let has_load =
-                    c.regs.values().any(|r| r.load.is_some()) || !c.outport_lds.is_empty();
-                if has_load {
+                if c.has_loads() {
                     assert!(!c.has_reads(), "seed {seed}: load in a read cycle");
-                    assert!(c.inport.is_some(), "seed {seed}: load without a driven bus");
+                    assert!(
+                        !c.inports.is_empty(),
+                        "seed {seed}: load without a driven bus"
+                    );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn stack_ops_are_sp_faithful() {
+        for seed in 0..30 {
+            let spec = SpecGen::random_cosim_spec(&mut Rng::new(seed), "p");
+            let prog = Program::random(&spec, seed + 100, 40);
+            // Replay each stack's ops: pushes always target the current
+            // model sp, pops the level below it, within depth bounds.
+            for (pfx, depth) in &prog.stacks {
+                let mut sp = 0usize;
+                for c in &prog.cycles {
+                    match c.stacks.get(pfx) {
+                        Some(StackOp::Push(l)) => {
+                            assert_eq!(*l, sp, "push must target sp");
+                            sp += 1;
+                            assert!(sp <= *depth);
+                        }
+                        Some(StackOp::Pop(l)) => {
+                            assert!(sp > 0, "pop from empty stack");
+                            sp -= 1;
+                            assert_eq!(*l, sp, "pop must target sp-1");
+                        }
+                        None => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_flag_suppresses_ram_and_stack_ops() {
+        for seed in 0..20 {
+            let mut spec = SpecGen::random_cosim_spec(&mut Rng::new(seed), "p");
+            spec.flags
+                .insert(bristle_core::LEGACY_INVERTING_READ.into(), true);
+            let prog = Program::random(&spec, seed, 30);
+            for c in &prog.cycles {
+                assert!(c.rams.is_empty(), "seed {seed}: RAM op in legacy mode");
+                assert!(c.stacks.is_empty(), "seed {seed}: stack op in legacy mode");
             }
         }
     }

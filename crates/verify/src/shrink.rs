@@ -63,6 +63,24 @@ fn candidate_program(spec: &ChipSpec, seed: u64, skip: usize, cycles: usize) -> 
     p
 }
 
+/// Rebuilds a spec with the given elements, carrying over everything
+/// else (data width unless overridden, user microcode fields, flags —
+/// dropping `LEGACY_INVERTING_READ` here would silently shrink against
+/// the wrong cell library and equivalence relation).
+fn rebuild(spec: &ChipSpec, width: u32, elements: Vec<ElementSpec>) -> Option<ChipSpec> {
+    let mut b = ChipSpec::builder(spec.name.clone()).data_width(width);
+    for (name, w) in &spec.user_fields {
+        b = b.microcode_field(name.clone(), *w);
+    }
+    for (name, value) in &spec.flags {
+        b = b.flag(name.clone(), *value);
+    }
+    for e in elements {
+        b = b.push_element(e);
+    }
+    b.build().ok()
+}
+
 fn spec_without(spec: &ChipSpec, drop: usize) -> Option<ChipSpec> {
     if spec.elements.len() <= 1 {
         return None;
@@ -80,19 +98,11 @@ fn spec_without(spec: &ChipSpec, drop: usize) -> Option<ChipSpec> {
     {
         return None;
     }
-    let mut b = ChipSpec::builder(spec.name.clone()).data_width(spec.data_width);
-    for e in elements {
-        b = b.push_element(e);
-    }
-    b.build().ok()
+    rebuild(spec, spec.data_width, elements)
 }
 
 fn spec_with_width(spec: &ChipSpec, width: u32) -> Option<ChipSpec> {
-    let mut b = ChipSpec::builder(spec.name.clone()).data_width(width);
-    for e in &spec.elements {
-        b = b.push_element(e.clone());
-    }
-    b.build().ok()
+    rebuild(spec, width, spec.elements.clone())
 }
 
 /// Shrinks a failing (spec, program-seed, fault) case to a minimal

@@ -5,11 +5,15 @@
 //! * [`SpecGen::random_spec`] — full-diversity specs over every element
 //!   kind, parameter range, bus break, user microcode field and flag the
 //!   compiler accepts. Used for compile/extract robustness fuzzing.
+//!   Since the pad pass spreads per-port escape lanes, any number of
+//!   ports of either kind may appear.
 //! * [`SpecGen::random_cosim_spec`] — specs restricted to the
-//!   transfer-faithful subset the differential co-simulation drives
-//!   (always exactly one input port; RAM/stack/ALU/shifter may appear
-//!   but ride along passively). Kept small so switch-level relaxation
-//!   stays fast in debug builds.
+//!   transfer-faithful subset the differential co-simulation drives:
+//!   1–2 input ports, register banks, optional output ports, and
+//!   optional RAM/stack columns that co-simulate **actively** (sel-gated
+//!   writes, sp-decoded stack). ALU/shifter may appear but ride along
+//!   passively. Kept small so switch-level relaxation stays fast in
+//!   debug builds.
 
 use bristle_core::{ChipSpec, ElementSpec};
 
@@ -43,10 +47,8 @@ impl SpecGen {
             b = b.flag("PROTOTYPE", true);
         }
         let n = rng.range(1, 7);
-        // The pad pass routes every port's east escape wire at the same
-        // per-bit y offset, so a second port of the same kind collides
-        // (< 7λ); one of each is the supported maximum today.
-        let (mut inports, mut outports) = (0, 0);
+        // Each port of a kind gets its own escape lane from the pad
+        // pass, so port counts are unconstrained.
         for i in 0..n {
             let e = match rng.range_u64(0, 7) {
                 0 => element("registers", &[("count", rng.range(1, 7))]),
@@ -54,15 +56,9 @@ impl SpecGen {
                 2 => element("shifter", &[]),
                 3 => element("ram", &[("words", rng.range(1, 7))]),
                 4 => element("stack", &[("depth", rng.range(1, 7))]),
-                5 if inports == 0 => {
-                    inports += 1;
-                    element("inport", &[])
-                }
-                6 if outports == 0 => {
-                    outports += 1;
-                    element("outport", &[])
-                }
-                _ => element("shifter", &[]),
+                5 => element("inport", &[]),
+                6 => element("outport", &[]),
+                _ => unreachable!(),
             };
             b = b.push_element(e);
             if i + 1 < n && rng.chance(1, 5) {
@@ -72,20 +68,27 @@ impl SpecGen {
         b.build().expect("generated spec must be well-formed")
     }
 
-    /// A co-simulation spec: 1–2 register banks, exactly one input port,
-    /// optional output port, and optional passive ALU / shifter / RAM /
-    /// stack columns; widths 2..=8. Element order is randomized.
+    /// A co-simulation spec: 1–2 register banks, 1–2 input ports, up to
+    /// two output ports, and optional actively co-simulated RAM / stack
+    /// plus passive ALU / shifter columns; widths 2..=8. Element order
+    /// is randomized.
     #[must_use]
     pub fn random_cosim_spec(rng: &mut Rng, name: &str) -> ChipSpec {
         let width = rng.range(2, 9) as u32;
         let mut elements: Vec<ElementSpec> = Vec::new();
         elements.push(element("inport", &[]));
+        if rng.chance(1, 3) {
+            elements.push(element("inport", &[]));
+        }
         let banks = rng.range(1, 3);
         for _ in 0..banks {
             elements.push(element("registers", &[("count", rng.range(1, 4))]));
         }
         if rng.chance(1, 2) {
             elements.push(element("outport", &[]));
+            if rng.chance(1, 3) {
+                elements.push(element("outport", &[]));
+            }
         }
         if rng.chance(1, 3) {
             elements.push(element("alu", &[]));
@@ -134,14 +137,28 @@ mod tests {
     }
 
     #[test]
-    fn cosim_specs_always_have_one_inport() {
+    fn cosim_specs_have_bounded_ports() {
+        let mut saw_two_inports = false;
         for seed in 0..50 {
             let s = SpecGen::random_cosim_spec(&mut Rng::new(seed), "c");
             let inports = s.elements.iter().filter(|e| e.kind == "inport").count();
-            assert_eq!(inports, 1, "seed {seed}");
+            assert!((1..=2).contains(&inports), "seed {seed}");
+            saw_two_inports |= inports == 2;
             assert!(s.elements.iter().any(|e| e.kind == "registers"));
             assert!((2..=8).contains(&s.data_width));
         }
+        assert!(saw_two_inports, "the two-inport case must be exercised");
+    }
+
+    #[test]
+    fn full_specs_allow_multiple_ports_per_kind() {
+        let mut max_inports = 0;
+        for seed in 0..80 {
+            let s = SpecGen::random_spec(&mut Rng::new(seed), "f");
+            let n = s.elements.iter().filter(|e| e.kind == "inport").count();
+            max_inports = max_inports.max(n);
+        }
+        assert!(max_inports >= 2, "port cap should be lifted");
     }
 
     #[test]

@@ -1,14 +1,19 @@
 //! Differential verification: randomized chip specs, compiled through
 //! the full pipeline (compile → layout → extract), co-simulated at
 //! switch level against the functional SIMULATION machine under
-//! identical random microcode programs, with cycle-by-cycle bus /
-//! register / pad equivalence.
+//! identical random microcode programs, with cycle-by-cycle **direct**
+//! bus / plate / pad equality — the restoring (non-inverting) read path
+//! makes the silicon's φ1 buses equal the machine's bit for bit, and
+//! RAM words and stack levels co-simulate actively alongside registers.
 //!
 //! Seed policy: every case derives from `BASE_SEED + index`. To replay
 //! one case locally: `BRISTLE_VERIFY_SEED=<seed> cargo test --release
-//! --test differential -- one_seed --nocapture`. On failure the minimal
-//! reproducer dump is written to `target/verify-failures/` (CI uploads
-//! that directory as an artifact).
+//! --test differential -- one_seed --nocapture`. Set
+//! `BRISTLE_VERIFY_LEGACY=1` to run the same seeds against the legacy
+//! inverting-read cell library (the CI extended sweep runs both legs
+//! during the migration release). On failure the minimal reproducer
+//! dump is written to `target/verify-failures/` (CI uploads that
+//! directory as an artifact).
 
 use std::fmt::Write as _;
 
@@ -30,7 +35,13 @@ fn dump_failure(name: &str, text: &str) {
 }
 
 fn run_seed(seed: u64) -> Result<bristle_verify::CosimStats, String> {
-    let spec = SpecGen::random_cosim_spec(&mut Rng::new(seed), &format!("dv{seed:x}"));
+    let mut spec = SpecGen::random_cosim_spec(&mut Rng::new(seed), &format!("dv{seed:x}"));
+    if std::env::var("BRISTLE_VERIFY_LEGACY").is_ok_and(|v| v == "1") {
+        // Migration leg: same seeds, pre-inverter cell library and the
+        // inverting-read equivalence relation.
+        spec.flags
+            .insert(bristle_blocks::core::LEGACY_INVERTING_READ.into(), true);
+    }
     let program = Program::random(&spec, seed ^ 0x9E37_79B9, CYCLES);
     run_cosim(&spec, &program).map_err(|e| match e {
         CosimError::Diverged(_) => {
@@ -117,6 +128,45 @@ fn cosim_extended_sweep() {
     }
 }
 
+/// Regression for the pad-pass escape-lane collision: two inports and
+/// two outports on one chip compile, check DRC-clean all the way to the
+/// pad ring (per-port escape lanes spread 8λ apart), and co-simulate to
+/// direct equality.
+#[test]
+fn two_inports_two_outports_drc_clean_and_cosim() {
+    let spec = bristle_blocks::core::ChipSpec::builder("twoports")
+        .data_width(4)
+        .element("inport", &[])
+        .element("outport", &[])
+        .element("registers", &[("count", 2)])
+        .element("inport", &[])
+        .element("outport", &[])
+        .build()
+        .unwrap();
+    let chip = bristle_blocks::core::Compiler::new()
+        .compile(&spec)
+        .expect("two ports of each kind must route");
+    let report = bristle_blocks::drc::check_hierarchical(
+        &chip.lib,
+        chip.top,
+        &bristle_blocks::drc::RuleSet::mead_conway(),
+    );
+    assert!(report.is_clean(), "escape lanes must be DRC-clean:\n{report}");
+    // Both inports genuinely drive: programs with either port asserted
+    // must co-simulate (several seeds so multi-port write cycles occur).
+    for seed in 0..6u64 {
+        let program = Program::random(&spec, seed, CYCLES);
+        assert!(
+            program
+                .cycles
+                .iter()
+                .any(|c| c.inports.len() == 2),
+            "seed {seed}: no dual-drive cycle generated"
+        );
+        run_cosim(&spec, &program).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
 /// An injected open-circuit fault must be caught and shrink to a minimal
 /// reproducer that still pinpoints the divergence.
 #[test]
@@ -131,11 +181,12 @@ fn injected_fault_is_caught_and_shrunk() {
         .element("outport", &[])
         .build()
         .unwrap();
-    // Open the bit-0 read pull-down of register 0: reads of r0 with
-    // bit 0 set stop discharging bus A bit 0.
+    // Open the bit-0 read pull-down of register 0: with the restoring
+    // read path, reads of r0 stop asserting bit 0 low when the stored
+    // bit is 0 (the bus bit floats at its precharge instead).
     let fault = Fault::DropGateDevice("_b0/rda0".into());
-    // Find a seed whose program writes an odd value into r0 and reads it
-    // back — with write-heavy generation this happens fast.
+    // Find a seed whose program writes an even value into r0 and reads
+    // it back — with write-heavy generation this happens fast.
     let mut caught = None;
     for seed in 0..20u64 {
         let program = Program::random(&spec, seed, CYCLES);
@@ -155,11 +206,23 @@ fn injected_fault_is_caught_and_shrunk() {
     let repro = shrink(&spec, seed, CYCLES, Some(&fault), 80)
         .expect("shrinker must reproduce the divergence");
     // The reproducer is genuinely minimal-ish: fewer cycles than the
-    // original program and no unrelated elements.
+    // original program and the rider elements (shifter, ALU) dropped.
+    // The outport may survive: dropping it reshuffles the program
+    // stream, and the shrinker only accepts candidates that still
+    // reproduce the divergence.
     assert!(repro.cycles <= divergence.cycle + 1);
     assert!(
-        repro.spec.elements.len() <= 2,
+        repro.spec.elements.len() <= 3,
         "shrink kept unrelated elements: {}",
+        repro.spec
+    );
+    assert!(
+        repro
+            .spec
+            .elements
+            .iter()
+            .all(|e| !matches!(e.kind.as_str(), "alu" | "shifter")),
+        "shrink kept rider elements: {}",
         repro.spec
     );
     assert_eq!(repro.spec.data_width, 2, "width should shrink to 2");

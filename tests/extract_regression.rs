@@ -23,23 +23,47 @@ fn cpu16_netlist_identical_to_reference_extractor() {
 /// Golden snapshot of the cpu16 netlist shape: guards against silent
 /// connectivity drift that the reference comparison alone would miss if
 /// both implementations changed together.
+///
+/// Re-pinned for the restoring (non-inverting) read path. Delta trail
+/// from the previous goldens (1552 nets / 1008 devices / 4096
+/// terminals), all per bit slice × 16 bits:
+///
+/// * **registers** (4 columns): each storage copy gains an in-frame
+///   depletion-load inverter → per cell +2 nets (the two `nstore*`
+///   output nodes), +4 devices (2 depletion loads + 2 inverter
+///   drivers; the read chains still carry 2 gates each), +2 terminals
+///   (`nstoreA`/`nstoreB` probe bristles). 4 × 16 × (2, 4, 2).
+/// * **ram** (4 words): read chain grows to sel & rd & ~cell (3 gates)
+///   and the write chain is now selw-gated (2 gates) → per cell
+///   +4 nets (`ncell` output node + 2 extra chain islands + the wider
+///   select wiring), +4 devices (1 depletion + 3 enhancement),
+///   +3 terminals (`ncell` probe, `selw` column + its north
+///   continuation). 4 × 16 × (4, 4, 3).
+/// * **stack** (4 levels): same restoring structure plus the sp-decoded
+///   `sel`/`selw` columns that replace the broadcast-only cell → per
+///   cell +5 nets, +4 devices (1 depletion + 3 enhancement),
+///   +5 terminals (`nlevel` probe, `sel`, `sel_n`, `selw`, `selw_n`).
+///   4 × 16 × (5, 4, 5).
+///
+/// Totals: nets +44/bit → 1552 + 704 = 2256; devices +48/bit → 1008 +
+/// 768 = 1776 (of which 16 × 16 = 256 depletion); terminals +40/bit →
+/// 4096 + 640 = 4736.
 #[test]
 fn cpu16_netlist_golden_counts() {
     let chip = compile(&reference_specs()[3]).unwrap();
     let n = extract(&chip.lib, chip.core_cell);
-    assert_eq!(n.net_count(), 1552, "net count");
-    assert_eq!(n.transistors.len(), 1008, "transistor count");
-    // 3792 track/control/pad terminals + 304 storage-plate probes (the
-    // differential test bench's stable handles on dynamic storage).
-    assert_eq!(n.terminals.len(), 4096, "terminal count");
-    // Spot checks: the precharged core is all-enhancement (no static
-    // pull-ups), and every device has sane channel geometry.
-    assert!(
-        n.transistors
-            .iter()
-            .all(|t| t.kind == bristle_blocks::extract::TransistorKind::Enhancement),
-        "precharged cpu16 core must contain only enhancement devices"
-    );
+    assert_eq!(n.net_count(), 2256, "net count");
+    assert_eq!(n.transistors.len(), 1776, "transistor count");
+    assert_eq!(n.terminals.len(), 4736, "terminal count");
+    // The restoring read path puts exactly one depletion load per
+    // storage plate: registers carry two copies per bit, RAM words and
+    // stack levels one each → (4·2 + 4 + 4) × 16 = 256.
+    let dep = n
+        .transistors
+        .iter()
+        .filter(|t| t.kind == bristle_blocks::extract::TransistorKind::Depletion)
+        .count();
+    assert_eq!(dep, 256, "one depletion load per storage plate");
     assert!(
         n.transistors.iter().all(|t| t.width > 0 && t.length > 0),
         "every channel must have positive W and L"
@@ -47,6 +71,29 @@ fn cpu16_netlist_golden_counts() {
     // Extraction must be deterministic call to call.
     let again = extract(&chip.lib, chip.core_cell);
     assert_eq!(n, again, "extraction must be deterministic");
+}
+
+/// The legacy inverting-read flag reproduces the pre-inverter library
+/// exactly: the old golden counts still hold behind it, and the
+/// reference-extractor identity is flag-independent.
+#[test]
+fn cpu16_legacy_flag_reproduces_old_goldens() {
+    let mut spec = reference_specs()[3].clone();
+    spec.flags
+        .insert(bristle_blocks::core::LEGACY_INVERTING_READ.into(), true);
+    let chip = compile(&spec).unwrap();
+    let n = extract(&chip.lib, chip.core_cell);
+    assert_eq!(n.net_count(), 1552, "legacy net count");
+    assert_eq!(n.transistors.len(), 1008, "legacy transistor count");
+    assert_eq!(n.terminals.len(), 4096, "legacy terminal count");
+    assert!(
+        n.transistors
+            .iter()
+            .all(|t| t.kind == bristle_blocks::extract::TransistorKind::Enhancement),
+        "legacy precharged core is all-enhancement"
+    );
+    let slow = bristle_blocks::extract::extract_reference(&chip.lib, chip.core_cell);
+    assert_eq!(n, slow, "legacy netlist must match the reference extractor");
 }
 
 /// The remaining reference chips stay identical too (fast, so all three).

@@ -1,0 +1,69 @@
+//! Property tests for the frame DSL's depletion-load inverter
+//! primitive, across data widths 2/4/8/16: every inverter extracts as
+//! exactly one depletion load (gate tied to its own channel — the
+//! output node) plus exactly one enhancement driver on that node, and
+//! the implant-surround rules check clean on the full stacked core.
+
+use std::collections::HashMap;
+
+use bristle_blocks::core::{ChipSpec, Compiler};
+use bristle_blocks::drc::{check_flat, RuleSet};
+use bristle_blocks::extract::{extract, NetId, TransistorKind};
+
+#[test]
+fn inverters_extract_one_depletion_one_driver_across_widths() {
+    for width in [2u32, 4, 8, 16] {
+        let spec = ChipSpec::builder(format!("w{width}"))
+            .data_width(width)
+            .element("inport", &[])
+            .element("registers", &[("count", 2)])
+            .element("ram", &[("words", 2)])
+            .element("stack", &[("depth", 2)])
+            .build()
+            .unwrap();
+        let chip = Compiler::new().compile(&spec).unwrap();
+        let n = extract(&chip.lib, chip.core_cell);
+
+        // Inverter census: registers carry two per bit cell (storeA,
+        // storeB), RAM words and stack levels one each.
+        let expected = (2 * 2 + 2 + 2) * width as usize;
+        let deps: Vec<_> = n
+            .transistors
+            .iter()
+            .filter(|t| t.kind == TransistorKind::Depletion)
+            .collect();
+        assert_eq!(deps.len(), expected, "width {width}: depletion count");
+
+        // Index enhancement devices by their channel nets once.
+        let mut enh_by_channel: HashMap<NetId, usize> = HashMap::new();
+        for t in &n.transistors {
+            if t.kind == TransistorKind::Enhancement {
+                *enh_by_channel.entry(t.source).or_default() += 1;
+                if t.drain != t.source {
+                    *enh_by_channel.entry(t.drain).or_default() += 1;
+                }
+            }
+        }
+        for d in &deps {
+            // The load's gate is tied to its own channel: that shared
+            // net is the inverter's output node.
+            assert!(
+                d.gate == d.source || d.gate == d.drain,
+                "width {width}: depletion gate must tie to its output node\n{d:?}"
+            );
+            let out = d.gate;
+            // Exactly one enhancement driver discharges the output node
+            // (read chains sense it through their gates, not channels).
+            assert_eq!(
+                enh_by_channel.get(&out).copied().unwrap_or(0),
+                1,
+                "width {width}: output net {out} must have exactly one driver"
+            );
+        }
+
+        // Implant surround + every other device rule stays clean on the
+        // fully stacked core artwork.
+        let report = check_flat(&chip.lib, chip.core_cell, &RuleSet::mead_conway());
+        assert!(report.is_clean(), "width {width}:\n{report}");
+    }
+}
